@@ -1,0 +1,43 @@
+// Command kdbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	kdbench -fig all        # every experiment, in order
+//	kdbench -fig 6          # just Figure 6
+//	kdbench -fig emptyfetch # the §5.3 empty-fetch table
+//	kdbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kafkadirect/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id to reproduce (e.g. 6, fig10, emptyfetch, all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if strings.EqualFold(*fig, "all") {
+		for _, e := range bench.Experiments() {
+			e.Run().Print(os.Stdout)
+		}
+		return
+	}
+	e, ok := bench.Lookup(*fig)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "kdbench: unknown figure %q; try -list\n", *fig)
+		os.Exit(1)
+	}
+	e.Run().Print(os.Stdout)
+}

@@ -1,0 +1,49 @@
+// Quickstart: bring up a single-broker KafkaDirect deployment, produce a few
+// records over the zero-copy RDMA datapath, and read them back with
+// one-sided RDMA Reads — all in a deterministic simulation that runs in
+// milliseconds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"kafkadirect"
+	"kafkadirect/internal/sim"
+)
+
+func main() {
+	s := kafkadirect.NewSim(kafkadirect.Options{Brokers: 1, RDMA: true})
+	s.MustCreateTopic("greetings", 1, 1)
+
+	elapsed := s.Run(func(p *sim.Proc) {
+		producer := s.MustRDMAProducer(p, "greetings", 0, kafkadirect.Exclusive)
+		for i := 0; i < 5; i++ {
+			offset, err := producer.Produce(p, kafkadirect.Record{
+				Value:     []byte(fmt.Sprintf("hello #%d over RDMA", i)),
+				Timestamp: int64(p.Now()),
+			})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("produced at offset %d (t=%v)\n", offset, p.Now())
+		}
+
+		consumer := s.MustRDMAConsumer(p, "greetings", 0, 0)
+		got := 0
+		for got < 5 {
+			records, err := consumer.Poll(p)
+			if err != nil {
+				panic(err)
+			}
+			for _, r := range records {
+				fmt.Printf("consumed offset %d: %s\n", r.Offset, r.Value)
+				got++
+			}
+		}
+		fmt.Printf("broker-side RDMA reads: %d data, %d metadata — zero broker CPU\n",
+			consumer.StatDataReads, consumer.StatMetaReads)
+	})
+	fmt.Printf("simulated time: %v\n", elapsed)
+}

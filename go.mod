@@ -1,0 +1,3 @@
+module kafkadirect
+
+go 1.22

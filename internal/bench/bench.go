@@ -1,0 +1,201 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§4.2.2 Fig. 6–8 microbenchmarks, §5 Fig. 10–21 system
+// benchmarks) plus ablations of KafkaDirect-specific design choices.
+//
+// Each experiment is a function returning a Table; the registry maps figure
+// ids ("fig06", "fig10", ..., "emptyfetch", "fig21") to them. cmd/kdbench
+// prints the tables; bench_test.go wraps them as testing.B benchmarks.
+//
+// Absolute numbers come from the calibrated simulation (DESIGN.md §4); the
+// claims under reproduction are the SHAPES: who wins, by what factor, and
+// where crossovers fall. EXPERIMENTS.md records paper-vs-measured values.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case float64:
+			row[i] = formatFloat(x)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.1f", float64(x)/float64(time.Microsecond))
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note records a free-form observation printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func formatFloat(f float64) string {
+	switch {
+	case f == 0:
+		return "0"
+	case f >= 100:
+		return fmt.Sprintf("%.0f", f)
+	case f >= 1:
+		return fmt.Sprintf("%.1f", f)
+	default:
+		return fmt.Sprintf("%.3f", f)
+	}
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is a runnable figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *Table
+}
+
+// registry holds all experiments in display order.
+var registry []Experiment
+
+func register(id, title string, run func() *Table) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// Experiments lists all registered experiments in the paper's order:
+// microbenchmarks first (Fig. 6–8), then the evaluation (Fig. 10–21 with the
+// §5.3 empty-fetch table in place), ablations last.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return figOrder(out[i].ID) < figOrder(out[j].ID) })
+	return out
+}
+
+// figOrder maps experiment ids to their position in the paper.
+func figOrder(id string) float64 {
+	if strings.HasPrefix(id, "ablation") {
+		return 100
+	}
+	if id == "emptyfetch" {
+		return 18.5 // between Fig. 18 and Fig. 19, as in §5.3
+	}
+	var n float64
+	fmt.Sscanf(strings.TrimPrefix(id, "fig"), "%f", &n)
+	return n
+}
+
+// Lookup finds an experiment by id ("fig06", "6", "emptyfetch", ...),
+// case-insensitively.
+func Lookup(id string) (Experiment, bool) {
+	id = strings.TrimPrefix(strings.ToLower(id), "fig")
+	for _, e := range registry {
+		key := strings.ToLower(strings.TrimPrefix(e.ID, "fig"))
+		if key == id || strings.TrimLeft(key, "0") == strings.TrimLeft(id, "0") {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the registered experiment ids.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ---------------------------------------------------------------------------
+// Measurement helpers
+// ---------------------------------------------------------------------------
+
+// median returns the median of a sample set.
+func median(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// mibps converts bytes over a duration into MiB/s.
+func mibps(bytes int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / (1 << 20)
+}
+
+// gibps converts bytes over a duration into GiB/s.
+func gibps(bytes int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / (1 << 30)
+}
+
+// sizeLabel renders byte sizes like the paper's axes (64B, 2K, 128K).
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1024:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

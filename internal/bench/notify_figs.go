@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"time"
+
+	"kafkadirect/internal/client"
+	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/sim"
+)
+
+func init() {
+	register("ablation-notify", "Ablation: WriteWithImm vs Write+Send notification inside the full broker", ablationNotify)
+}
+
+// ablationNotify runs the §4.2.2 notification-method comparison through the
+// complete system rather than raw verbs (Fig. 7 is the microbenchmark): an
+// exclusive RDMA producer with each method, produce latency and goodput.
+// The paper concludes KafkaDirect should ship WriteWithImm but that
+// Write+Send remains attractive when 32 bits of immediate data are too few.
+func ablationNotify() *Table {
+	t := &Table{
+		ID:      "ablation-notify",
+		Title:   "Produce latency (us) and goodput (MiB/s): notification method, in-system",
+		Columns: []string{"config", "latency_us_128B", "goodput_MiBs_4K"},
+	}
+	type cfg struct {
+		name     string
+		mode     client.NotifyMode
+		metaSize int
+	}
+	for _, c := range []cfg{
+		{"write_with_imm", client.NotifyWriteImm, 0},
+		{"write+send_8B", client.NotifyWriteSend, 8},
+		{"write+send_128B", client.NotifyWriteSend, 128},
+		{"write+send_512B", client.NotifyWriteSend, 512},
+	} {
+		lat := notifyLatency(c.mode, c.metaSize, 128)
+		gput := notifyGoodput(c.mode, c.metaSize, 4096)
+		t.AddRow(c.name, lat, gput)
+	}
+	t.Note("WriteWithImm stays the lowest-latency choice in-system, as §4.2.2 concludes; Write+Send costs one extra WR per produce")
+	return t
+}
+
+func notifyLatency(mode client.NotifyMode, metaSize, recordSize int) time.Duration {
+	r := newSysRig(rigConfig{brokers: 1})
+	r.topic("t", 1, 1)
+	var lat time.Duration
+	r.run(func(p *sim.Proc) {
+		pr, err := client.NewRDMAProducer(p, r.endpoint("cli"), "t", 0, kwire.AccessExclusive, 1)
+		if err != nil {
+			panic(err)
+		}
+		pr.Notify = mode
+		pr.MetaSize = metaSize
+		rec := payload(recordSize, 'n')
+		pr.Produce(p, rec)
+		const n = 25
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			if _, err := pr.Produce(p, rec); err != nil {
+				panic(err)
+			}
+		}
+		lat = (p.Now() - start) / n
+	})
+	return lat
+}
+
+func notifyGoodput(mode client.NotifyMode, metaSize, recordSize int) float64 {
+	r := newSysRig(rigConfig{brokers: 1})
+	r.topic("t", 1, 1)
+	const n = 2000
+	var elapsed time.Duration
+	r.run(func(p *sim.Proc) {
+		pr, err := client.NewRDMAProducer(p, r.endpoint("cli"), "t", 0, kwire.AccessExclusive, 1)
+		if err != nil {
+			panic(err)
+		}
+		pr.Notify = mode
+		pr.MetaSize = metaSize
+		rec := payload(recordSize, 'n')
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			if err := pr.ProduceAsync(p, rec); err != nil {
+				panic(err)
+			}
+		}
+		if err := pr.Drain(p); err != nil {
+			panic(err)
+		}
+		elapsed = p.Now() - start
+	})
+	return mibps(n*recordSize, elapsed)
+}

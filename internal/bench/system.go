@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"kafkadirect/internal/client"
+	"kafkadirect/internal/core"
+	"kafkadirect/internal/krecord"
+	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/sim"
+)
+
+// This file holds the shared scaffolding for the full-system benchmarks
+// (Fig. 10–20): cluster construction per system configuration, closed-loop
+// latency measurement, and open-loop goodput measurement.
+
+// systemKind names the compared systems exactly as the paper's legends do.
+type systemKind string
+
+const (
+	sysKafka    systemKind = "kafka"     // unmodified Kafka over TCP/IPoIB
+	sysOSU      systemKind = "osu"       // OSU Kafka: two-sided RDMA RPC [33]
+	sysKDExcl   systemKind = "kd_excl"   // KafkaDirect exclusive RDMA produce
+	sysKDShared systemKind = "kd_shared" // KafkaDirect shared RDMA produce
+)
+
+// replMode selects the replication datapath for Fig. 14–17.
+type replMode string
+
+const (
+	replNone replMode = "none"
+	replPull replMode = "pull" // TCP pull replication (§4.3.1)
+	replPush replMode = "push" // RDMA push replication (§4.3.2)
+)
+
+// sysRig is one benchmark deployment.
+type sysRig struct {
+	env            *sim.Env
+	cl             *core.Cluster
+	clientInFlight int
+}
+
+// rigConfig parameterises a deployment.
+type rigConfig struct {
+	brokers     int
+	repl        replMode
+	apiWorkers  int
+	segmentSize int
+	pushBatch   int
+	pushCredits int
+	// clientInFlight deepens the RDMA producer pipeline (Fig. 17 floods the
+	// replication module with far more records than the default window).
+	clientInFlight int
+}
+
+func newSysRig(cfg rigConfig) *sysRig {
+	env := sim.NewEnv(11)
+	opts := core.DefaultOptions()
+	if cfg.segmentSize > 0 {
+		opts.Config.SegmentSize = cfg.segmentSize
+	} else {
+		opts.Config.SegmentSize = 64 << 20
+	}
+	if cfg.apiWorkers > 0 {
+		opts.Config.APIWorkers = cfg.apiWorkers
+	}
+	if cfg.pushBatch > 0 {
+		opts.Config.PushMaxBatch = cfg.pushBatch
+	}
+	if cfg.pushCredits > 0 {
+		opts.Config.PushCredits = cfg.pushCredits
+	}
+	// The produce and consume modules are enabled throughout: they are
+	// passive unless a client requests RDMA access, so the TCP baselines
+	// are unaffected ("the RDMA modules of KafkaDirect can be enabled at
+	// need", §1). Which datapath a run exercises is decided by the client.
+	opts.Config.RDMAProduce = true
+	opts.Config.RDMAConsume = true
+	opts.Config.RDMAReplication = cfg.repl == replPush
+	if cfg.brokers <= 0 {
+		cfg.brokers = 1
+	}
+	cl := core.NewCluster(env, opts)
+	cl.AddBrokers(cfg.brokers)
+	return &sysRig{env: env, cl: cl, clientInFlight: cfg.clientInFlight}
+}
+
+func (r *sysRig) topic(name string, partitions, rf int) {
+	if err := r.cl.CreateTopic(name, partitions, rf); err != nil {
+		panic(err)
+	}
+}
+
+func (r *sysRig) endpoint(name string) *client.Endpoint {
+	cfg := client.DefaultConfig()
+	if r.clientInFlight > 0 {
+		cfg.MaxInFlight = r.clientInFlight
+	}
+	return client.NewEndpoint(r.cl, name, cfg)
+}
+
+// run drives the rig until fn returns (virtual deadline as a backstop),
+// then unwinds every process so the rig's memory is reclaimable — the
+// harness builds one rig per data point.
+func (r *sysRig) run(fn func(p *sim.Proc)) {
+	r.env.Go("driver", func(p *sim.Proc) {
+		fn(p)
+		r.env.Stop()
+	})
+	r.env.RunUntil(600 * time.Second)
+	r.env.Shutdown()
+}
+
+// newProducer builds the producer matching a system kind. acks applies to
+// the RPC producers; RDMA producers follow the partition's replication.
+func newProducer(p *sim.Proc, e *client.Endpoint, kind systemKind, topic string, part int32, acks int8, id int64) (client.Producer, error) {
+	switch kind {
+	case sysKafka:
+		return client.NewTCPProducer(p, e, topic, part, acks, id)
+	case sysOSU:
+		return client.NewOSUProducer(p, e, topic, part, acks, id)
+	case sysKDExcl:
+		return client.NewRDMAProducer(p, e, topic, part, kwire.AccessExclusive, id)
+	case sysKDShared:
+		return client.NewRDMAProducer(p, e, topic, part, kwire.AccessShared, id)
+	}
+	return nil, fmt.Errorf("bench: unknown system %q", kind)
+}
+
+// payload builds one record of the given value size.
+func payload(size int, tag byte) krecord.Record {
+	v := make([]byte, size)
+	for i := range v {
+		v[i] = tag
+	}
+	return krecord.Record{Value: v, Timestamp: 1}
+}
+
+// produceLatency measures the median closed-loop produce RTT for one system
+// and record size. acks=-1 when the topic is replicated.
+func produceLatency(kind systemKind, recordSize int, cfg rigConfig) time.Duration {
+	r := newSysRig(cfg)
+	rf := 1
+	if cfg.repl != replNone {
+		rf = cfg.brokers
+	}
+	r.topic("t", 1, rf)
+	acks := int8(1)
+	if rf > 1 {
+		acks = -1
+	}
+	var med time.Duration
+	r.run(func(p *sim.Proc) {
+		pr, err := newProducer(p, r.endpoint("cli"), kind, "t", 0, acks, 1)
+		if err != nil {
+			panic(err)
+		}
+		rec := payload(recordSize, 'x')
+		for i := 0; i < 3; i++ { // warm-up
+			if _, err := pr.Produce(p, rec); err != nil {
+				panic(err)
+			}
+		}
+		const n = 31
+		samples := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			start := p.Now()
+			if _, err := pr.Produce(p, rec); err != nil {
+				panic(err)
+			}
+			samples = append(samples, p.Now()-start)
+		}
+		med = median(samples)
+	})
+	return med
+}
+
+// produceGoodput measures open-loop produce goodput (MiB/s) for one system:
+// one producer per partition, each pipelining up to the in-flight window.
+func produceGoodput(kind systemKind, recordSize, partitions, producersPerTP int, cfg rigConfig) float64 {
+	r := newSysRig(cfg)
+	rf := 1
+	if cfg.repl != replNone {
+		rf = cfg.brokers
+	}
+	r.topic("t", partitions, rf)
+	acks := int8(1)
+	if rf > 1 {
+		acks = -1
+	}
+	// Scale the record count so each run moves a comparable byte volume.
+	perProducer := 6 << 20 / recordSize
+	if perProducer > 3000 {
+		perProducer = 3000
+	}
+	if perProducer < 200 {
+		perProducer = 200
+	}
+	total := 0
+	var elapsed time.Duration
+	done := sim.NewQueue[error]()
+	nProducers := partitions * producersPerTP
+	r.run(func(p *sim.Proc) {
+		for pi := 0; pi < nProducers; pi++ {
+			pi := pi
+			part := int32(pi % partitions)
+			r.env.Go(fmt.Sprintf("prod-%d", pi), func(pp *sim.Proc) {
+				pr, err := newProducer(pp, r.endpoint(fmt.Sprintf("cli-%d", pi)), kind, "t", part, acks, int64(pi))
+				if err != nil {
+					done.Push(err)
+					return
+				}
+				rec := payload(recordSize, byte('a'+pi%26))
+				for i := 0; i < perProducer; i++ {
+					if err := pr.ProduceAsync(pp, rec); err != nil {
+						done.Push(err)
+						return
+					}
+				}
+				done.Push(pr.Drain(pp))
+			})
+		}
+		start := p.Now()
+		for i := 0; i < nProducers; i++ {
+			if err := done.Pop(p); err != nil {
+				panic(err)
+			}
+		}
+		elapsed = p.Now() - start
+		total = nProducers * perProducer * recordSize
+	})
+	return mibps(total, elapsed)
+}

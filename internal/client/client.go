@@ -1,0 +1,228 @@
+// Package client implements the four client stacks the paper evaluates
+// against each other (§5 "Implementation"):
+//
+//   - the original Kafka client over TCP (produce, fetch, offsets);
+//   - OSU Kafka [33]: the same RPCs carried by two-sided RDMA Send/Recv
+//     with receive-buffer copies — faster than the kernel stack but still a
+//     copy-and-dispatch design;
+//   - the KafkaDirect RDMA producer (§4.2.2), in exclusive and shared
+//     modes, writing batches straight into broker TP files with
+//     WriteWithImm;
+//   - the KafkaDirect RDMA consumer (§4.4.2), reading files and metadata
+//     slots with one-sided RDMA Reads, never involving the broker CPU.
+//
+// The client-side cost model mirrors §5.1's breakdown of the 88 µs produce
+// overhead: the defensive copy of user data, the client's API↔network
+// thread handoffs, and blocking-poll wakeups.
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"kafkadirect/internal/core"
+	"kafkadirect/internal/fabric"
+	"kafkadirect/internal/rdma"
+	"kafkadirect/internal/sim"
+	"kafkadirect/internal/tcpnet"
+)
+
+// Config is the client-side cost and behaviour model.
+type Config struct {
+	// ProduceCPU is the fixed CPU work to assemble and dispatch one produce.
+	ProduceCPU time.Duration
+	// ProduceWakeup is the non-CPU latency of a synchronous produce: client
+	// thread handoffs and blocking-poll wakeups (§5.1). Pipelined producers
+	// overlap it.
+	ProduceWakeup time.Duration
+	// CopyBandwidth covers the producer's defensive copy of user data and
+	// the consumer's copy into "native" result buffers (§5.3).
+	CopyBandwidth float64
+	// CRCBandwidth is the consumer-side integrity check rate (§5.3: "the
+	// RDMA consumer must check the integrity of the fetched data").
+	CRCBandwidth float64
+	// ConsumeCPU is the fixed consumer API cost per fetch.
+	ConsumeCPU time.Duration
+	// OSUSendCost/OSURecvCost are the client-side per-message costs of the
+	// two-sided RDMA transport (JNI, registered-buffer management, polling).
+	OSUSendCost time.Duration
+	OSURecvCost time.Duration
+	// FetchSize is the RDMA consumer's read granularity (§4.4.2; 2 KiB
+	// default trades <3 µs latency against >5 GiB/s bandwidth).
+	FetchSize int
+	// FetchMaxBytes caps TCP fetch responses.
+	FetchMaxBytes int
+	// FetchMaxWait long-polls TCP fetches.
+	FetchMaxWait time.Duration
+	// MaxInFlight bounds pipelined RDMA produce writes ("RDMA networking
+	// allows having multiple outstanding write requests", §7).
+	MaxInFlight int
+	// RPCMaxInFlight bounds pipelined requests on one classic connection
+	// (Kafka's max.in.flight.requests.per.connection default is 5).
+	RPCMaxInFlight int
+}
+
+// DefaultConfig returns the calibrated client model.
+func DefaultConfig() Config {
+	return Config{
+		ProduceCPU:     2 * time.Microsecond,
+		ProduceWakeup:  64 * time.Microsecond,
+		CopyBandwidth:  5 << 30,
+		CRCBandwidth:   3 << 30,
+		ConsumeCPU:     1600 * time.Nanosecond,
+		OSUSendCost:    12 * time.Microsecond,
+		OSURecvCost:    15 * time.Microsecond,
+		FetchSize:      2048,
+		FetchMaxBytes:  1 << 20,
+		FetchMaxWait:   5 * time.Millisecond,
+		MaxInFlight:    64,
+		RPCMaxInFlight: 5,
+	}
+}
+
+// Endpoint is a client machine: a fabric node with a TCP host and an RNIC.
+type Endpoint struct {
+	cluster *core.Cluster
+	cfg     Config
+	node    *fabric.Node
+	host    *tcpnet.Host
+	dev     *rdma.Device
+	pd      *rdma.PD
+}
+
+// NewEndpointWithConfig is NewEndpoint (it exists for call sites that read
+// better with the explicit name when a tweaked Config is passed).
+func NewEndpointWithConfig(cl *core.Cluster, name string, cfg Config) *Endpoint {
+	return NewEndpoint(cl, name, cfg)
+}
+
+// NewEndpoint attaches a client machine to the cluster's fabric.
+func NewEndpoint(cl *core.Cluster, name string, cfg Config) *Endpoint {
+	node := cl.Network().NewNode(name)
+	dev := rdma.NewDevice(node, cl.RDMACosts())
+	return &Endpoint{
+		cluster: cl,
+		cfg:     cfg,
+		node:    node,
+		host:    cl.Stack().NewHost(node),
+		dev:     dev,
+		pd:      dev.AllocPD(),
+	}
+}
+
+// Node returns the endpoint's fabric node.
+func (e *Endpoint) Node() *fabric.Node { return e.node }
+
+// Device returns the endpoint's RNIC.
+func (e *Endpoint) Device() *rdma.Device { return e.dev }
+
+// Config returns the client configuration.
+func (e *Endpoint) Config() Config { return e.cfg }
+
+// leader resolves a partition's leader broker. Cluster metadata stands in
+// for the Metadata RPC a long-lived client caches.
+func (e *Endpoint) leader(topic string, part int32) (*core.Broker, error) {
+	b := e.cluster.LeaderOf(topic, part)
+	if b == nil {
+		return nil, fmt.Errorf("client: no leader for %s/%d", topic, part)
+	}
+	return b, nil
+}
+
+func (e *Endpoint) copyTime(n int) time.Duration {
+	return time.Duration(float64(n) / e.cfg.CopyBandwidth * 1e9)
+}
+
+func (e *Endpoint) crcTime(n int) time.Duration {
+	return time.Duration(float64(n) / e.cfg.CRCBandwidth * 1e9)
+}
+
+// ---------------------------------------------------------------------------
+// RPC transports (TCP and OSU two-sided RDMA)
+// ---------------------------------------------------------------------------
+
+// Transport carries framed request/response messages to one broker. Both the
+// TCP stack and the OSU two-sided RDMA stack implement it, which is exactly
+// the paper's point: OSU Kafka swaps the transport but keeps the RPC shape.
+type Transport interface {
+	// Send transmits a request frame, charging client send-side costs.
+	Send(p *sim.Proc, frame []byte) error
+	// Recv returns the next response frame, charging client receive costs.
+	Recv(p *sim.Proc) ([]byte, error)
+	// Close releases the transport.
+	Close()
+}
+
+// tcpTransport is the classical client connection.
+type tcpTransport struct {
+	conn *tcpnet.Conn
+}
+
+// NewTCPTransport dials a broker over TCP.
+func NewTCPTransport(p *sim.Proc, e *Endpoint, broker *core.Broker) (Transport, error) {
+	conn, err := e.host.Dial(p, broker.Host(), core.TCPPort)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpTransport{conn: conn}, nil
+}
+
+func (t *tcpTransport) Send(p *sim.Proc, frame []byte) error { return t.conn.Send(p, frame) }
+func (t *tcpTransport) Recv(p *sim.Proc) ([]byte, error)     { return t.conn.Recv(p) }
+func (t *tcpTransport) Close()                               { t.conn.Close() }
+
+// osuTransport carries frames in RDMA Sends, through pre-registered receive
+// buffers on both sides [33].
+type osuTransport struct {
+	e    *Endpoint
+	qp   *rdma.QP
+	bufs [][]byte
+}
+
+// osuClientRecvDepth and osuClientBufSize size the client's response
+// buffers; fetch responses dominate.
+const (
+	osuClientRecvDepth = 64
+	osuClientBufSize   = 1<<20 + 4096
+)
+
+// NewOSUTransport establishes a two-sided RDMA connection to a broker.
+func NewOSUTransport(p *sim.Proc, e *Endpoint, broker *core.Broker) (Transport, error) {
+	qp, err := broker.ConnectOSU(e.dev)
+	if err != nil {
+		return nil, err
+	}
+	t := &osuTransport{e: e, qp: qp, bufs: make([][]byte, osuClientRecvDepth)}
+	for i := range t.bufs {
+		t.bufs[i] = make([]byte, osuClientBufSize)
+		if err := qp.PostRecv(rdma.RQE{WRID: uint64(i), Buf: t.bufs[i]}); err != nil {
+			return nil, err
+		}
+	}
+	// Connection establishment handshake.
+	p.Sleep(100 * time.Microsecond)
+	return t, nil
+}
+
+func (t *osuTransport) Send(p *sim.Proc, frame []byte) error {
+	// Copy into a registered send buffer, then post: the copy the one-sided
+	// design avoids.
+	p.Sleep(t.e.cfg.OSUSendCost + t.e.copyTime(len(frame)))
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	return t.qp.PostSend(rdma.SendWR{Op: rdma.OpSend, Local: cp, Unsignaled: true})
+}
+
+func (t *osuTransport) Recv(p *sim.Proc) ([]byte, error) {
+	cqe := t.qp.RecvCQ().Poll(p)
+	if cqe.Status != rdma.StatusOK {
+		return nil, fmt.Errorf("client: OSU transport failed: %v", cqe.Status)
+	}
+	p.Sleep(t.e.cfg.OSURecvCost + t.e.copyTime(cqe.ByteLen))
+	frame := make([]byte, cqe.ByteLen)
+	copy(frame, t.bufs[cqe.WRID][:cqe.ByteLen])
+	_ = t.qp.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: t.bufs[cqe.WRID]})
+	return frame, nil
+}
+
+func (t *osuTransport) Close() { t.qp.Disconnect() }

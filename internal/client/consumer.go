@@ -1,0 +1,468 @@
+package client
+
+import (
+	"fmt"
+
+	"kafkadirect/internal/core"
+	"kafkadirect/internal/krecord"
+	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/rdma"
+	"kafkadirect/internal/sim"
+	"kafkadirect/internal/tcpnet"
+)
+
+// Consumer is implemented by both consumer stacks.
+type Consumer interface {
+	// Poll returns the next available records (possibly none) starting at
+	// the consumer's position, advancing it past everything returned.
+	Poll(p *sim.Proc) ([]krecord.Record, error)
+	// Position returns the next offset the consumer will return.
+	Position() int64
+	// Close tears the consumer down.
+	Close()
+}
+
+// ---------------------------------------------------------------------------
+// RPC consumer (original Kafka over TCP, or OSU Kafka)
+// ---------------------------------------------------------------------------
+
+// RPCConsumer fetches records with classical fetch requests.
+type RPCConsumer struct {
+	e      *Endpoint
+	t      Transport
+	topic  string
+	part   int32
+	offset int64
+	corr   uint32
+	group  string
+	// LongPoll controls whether fetches park at the broker when no data is
+	// available; benchmarks measuring empty-fetch cost disable it.
+	LongPoll bool
+	// MaxBytesOverride, when positive, replaces the configured fetch size —
+	// e.g. 1 forces the broker to return a single batch per fetch, the
+	// anti-batching setting of the paper's Fig. 20.
+	MaxBytesOverride int
+	closed           bool
+}
+
+// NewTCPConsumer dials the partition leader over TCP.
+func NewTCPConsumer(p *sim.Proc, e *Endpoint, topic string, part int32, offset int64, group string) (*RPCConsumer, error) {
+	broker, err := e.leader(topic, part)
+	if err != nil {
+		return nil, err
+	}
+	t, err := NewTCPTransport(p, e, broker)
+	if err != nil {
+		return nil, err
+	}
+	return &RPCConsumer{e: e, t: t, topic: topic, part: part, offset: offset, group: group, LongPoll: true}, nil
+}
+
+// NewOSUConsumer dials the partition leader over two-sided RDMA.
+func NewOSUConsumer(p *sim.Proc, e *Endpoint, topic string, part int32, offset int64, group string) (*RPCConsumer, error) {
+	broker, err := e.leader(topic, part)
+	if err != nil {
+		return nil, err
+	}
+	t, err := NewOSUTransport(p, e, broker)
+	if err != nil {
+		return nil, err
+	}
+	return &RPCConsumer{e: e, t: t, topic: topic, part: part, offset: offset, group: group, LongPoll: true}, nil
+}
+
+// Poll issues one fetch request.
+func (c *RPCConsumer) Poll(p *sim.Proc) ([]krecord.Record, error) {
+	if c.closed {
+		return nil, ErrProducerClosed
+	}
+	c.corr++
+	var wait int64
+	if c.LongPoll {
+		wait = c.e.cfg.FetchMaxWait.Microseconds()
+	}
+	maxBytes := c.e.cfg.FetchMaxBytes
+	if c.MaxBytesOverride > 0 {
+		maxBytes = c.MaxBytesOverride
+	}
+	req := &kwire.FetchReq{
+		Topic:         c.topic,
+		Partition:     c.part,
+		Offset:        c.offset,
+		MaxBytes:      int32(maxBytes),
+		MaxWaitMicros: wait,
+		ReplicaID:     -1,
+	}
+	if err := c.t.Send(p, kwire.Encode(c.corr, req)); err != nil {
+		return nil, err
+	}
+	raw, err := c.t.Recv(p)
+	if err != nil {
+		return nil, err
+	}
+	_, msg, err := kwire.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := msg.(*kwire.FetchResp)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected fetch response %T", msg)
+	}
+	if resp.Err != kwire.ErrNone {
+		return nil, resp.Err.Err()
+	}
+	p.Sleep(c.e.cfg.ConsumeCPU)
+	if len(resp.Data) == 0 {
+		return nil, nil
+	}
+	p.Sleep(c.e.crcTime(len(resp.Data)))
+	var out []krecord.Record
+	if _, err := krecord.Scan(resp.Data, func(b krecord.Batch) error {
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		recs, err := b.Records()
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if r.Offset >= c.offset {
+				out = append(out, r)
+			}
+		}
+		c.offset = b.NextOffset()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Position returns the next offset to be fetched.
+func (c *RPCConsumer) Position() int64 { return c.offset }
+
+// CommitOffset records the consumer's progress at the broker (§5.4).
+func (c *RPCConsumer) CommitOffset(p *sim.Proc) error {
+	c.corr++
+	req := &kwire.OffsetCommitReq{Group: c.group, Topic: c.topic, Partition: c.part, Offset: c.offset}
+	if err := c.t.Send(p, kwire.Encode(c.corr, req)); err != nil {
+		return err
+	}
+	raw, err := c.t.Recv(p)
+	if err != nil {
+		return err
+	}
+	_, msg, err := kwire.Decode(raw)
+	if err != nil {
+		return err
+	}
+	resp, ok := msg.(*kwire.OffsetCommitResp)
+	if !ok {
+		return fmt.Errorf("client: unexpected commit response %T", msg)
+	}
+	return resp.Err.Err()
+}
+
+// Close releases the transport.
+func (c *RPCConsumer) Close() {
+	if !c.closed {
+		c.closed = true
+		c.t.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// KafkaDirect RDMA consumer (§4.4.2)
+// ---------------------------------------------------------------------------
+
+// consumerFile is the client's view of an RDMA-readable TP file.
+type consumerFile struct {
+	id           int32
+	addr         uint64
+	rkey         uint32
+	lastReadable int64
+	mutable      bool
+	slotAddr     uint64
+	slotRKey     uint32
+	slotIndex    int32
+}
+
+// RDMAConsumer reads records with one-sided RDMA Reads: data from the TP
+// file, availability from the metadata slot — zero broker CPU (§4.4.2).
+type RDMAConsumer struct {
+	e      *Endpoint
+	broker *core.Broker
+	topic  string
+	part   int32
+
+	qp      *rdma.QP
+	session uint32
+	ctl     *tcpnet.Conn
+	corr    uint32
+
+	// Pipeline is the number of concurrently outstanding data reads (>=1).
+	// "An RDMA consumer can have multiple outstanding read requests" (§7);
+	// deep pipelines trade a little latency for bandwidth.
+	Pipeline int
+
+	file    consumerFile
+	readPos int64
+	offset  int64 // next record offset to deliver
+	partial []byte
+	scratch []byte
+	slotBuf []byte
+
+	// Stats for the measurement harness.
+	StatDataReads int
+	StatMetaReads int
+	closed        bool
+}
+
+// NewRDMAConsumer establishes the QP and requests read access starting at
+// the given offset.
+func NewRDMAConsumer(p *sim.Proc, e *Endpoint, topic string, part int32, offset int64) (*RDMAConsumer, error) {
+	broker, err := e.leader(topic, part)
+	if err != nil {
+		return nil, err
+	}
+	qp, session, err := broker.ConnectConsumer(e.dev)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := e.host.Dial(p, broker.Host(), core.TCPPort)
+	if err != nil {
+		return nil, err
+	}
+	c := &RDMAConsumer{
+		e: e, broker: broker, topic: topic, part: part,
+		qp: qp, session: session, ctl: ctl, offset: offset,
+		scratch: make([]byte, e.cfg.FetchSize),
+		slotBuf: make([]byte, core.SlotSize),
+	}
+	if err := c.requestAccess(p); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// requestAccess performs the TCP control exchange of §4.4.2 for the file
+// containing the consumer's current offset.
+func (c *RDMAConsumer) requestAccess(p *sim.Proc) error {
+	c.corr++
+	req := &kwire.ConsumeAccessReq{Topic: c.topic, Partition: c.part, Offset: c.offset, Session: c.session}
+	if err := c.ctl.Send(p, kwire.Encode(c.corr, req)); err != nil {
+		return err
+	}
+	raw, err := c.ctl.Recv(p)
+	if err != nil {
+		return err
+	}
+	_, msg, err := kwire.Decode(raw)
+	if err != nil {
+		return err
+	}
+	resp, ok := msg.(*kwire.ConsumeAccessResp)
+	if !ok {
+		return fmt.Errorf("client: unexpected access response %T", msg)
+	}
+	if resp.Err != kwire.ErrNone {
+		return resp.Err.Err()
+	}
+	c.file = consumerFile{
+		id:           resp.FileID,
+		addr:         resp.Addr,
+		rkey:         resp.RKey,
+		lastReadable: resp.LastReadable,
+		mutable:      resp.Mutable,
+		slotAddr:     resp.SlotRegionAddr,
+		slotRKey:     resp.SlotRegionRKey,
+		slotIndex:    resp.SlotIndex,
+	}
+	c.readPos = resp.StartPos
+	c.partial = c.partial[:0]
+	return nil
+}
+
+// releaseFile tells the broker a fully-read file can be deregistered.
+func (c *RDMAConsumer) releaseFile(p *sim.Proc, id int32) error {
+	c.corr++
+	req := &kwire.ReleaseFileReq{Topic: c.topic, Partition: c.part, FileID: id, Session: c.session}
+	if err := c.ctl.Send(p, kwire.Encode(c.corr, req)); err != nil {
+		return err
+	}
+	raw, err := c.ctl.Recv(p)
+	if err != nil {
+		return err
+	}
+	_, msg, err := kwire.Decode(raw)
+	if err != nil {
+		return err
+	}
+	if resp, ok := msg.(*kwire.ReleaseFileResp); ok {
+		return resp.Err.Err()
+	}
+	return fmt.Errorf("client: unexpected release response %T", msg)
+}
+
+// rdmaRead issues one synchronous one-sided read.
+func (c *RDMAConsumer) rdmaRead(p *sim.Proc, dst []byte, addr uint64, rkey uint32) error {
+	err := c.qp.PostSend(rdma.SendWR{Op: rdma.OpRead, Local: dst, RemoteAddr: addr, RKey: rkey})
+	if err != nil {
+		return err
+	}
+	cqe := c.qp.SendCQ().Poll(p)
+	if cqe.Status != rdma.StatusOK {
+		return fmt.Errorf("client: RDMA read failed: %v", cqe.Status)
+	}
+	return nil
+}
+
+// refreshMetadata reads the consumer's metadata slot with a single RDMA
+// Read (§4.4.2) — the 2.5 µs operation that replaces a 200 µs empty fetch.
+func (c *RDMAConsumer) refreshMetadata(p *sim.Proc) error {
+	addr := c.file.slotAddr + uint64(c.file.slotIndex)*core.SlotSize
+	if err := c.rdmaRead(p, c.slotBuf, addr, c.file.slotRKey); err != nil {
+		return err
+	}
+	c.StatMetaReads++
+	c.file.lastReadable, c.file.mutable = core.ReadSlot(c.slotBuf)
+	return nil
+}
+
+// Poll performs one consume round: read data if the file has unread bytes,
+// otherwise refresh metadata (and hop to the next file when the current one
+// is sealed and fully consumed). It returns any records completed this
+// round; an empty result means "nothing new yet".
+func (c *RDMAConsumer) Poll(p *sim.Proc) ([]krecord.Record, error) {
+	if c.closed {
+		return nil, ErrProducerClosed
+	}
+	if c.readPos >= c.file.lastReadable {
+		if !c.file.mutable {
+			// Sealed and fully read: hand the file back so the broker can
+			// deregister it ("an RDMA consumer also notifies the broker
+			// about the files that can be unregistered from RDMA access to
+			// reduce memory usage", §4.4.2), then move to the next file.
+			if err := c.releaseFile(p, c.file.id); err != nil {
+				return nil, err
+			}
+			if err := c.requestAccess(p); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		if err := c.refreshMetadata(p); err != nil {
+			return nil, err
+		}
+		if c.readPos >= c.file.lastReadable {
+			if !c.file.mutable && c.readPos >= c.file.lastReadable {
+				// The file sealed under us; next Poll hops files.
+				return nil, nil
+			}
+			return nil, nil // no new records
+		}
+	}
+
+	// Issue up to Pipeline outstanding reads over consecutive chunks; the
+	// RNIC overlaps them, so bandwidth is no longer one-RTT-per-chunk.
+	depth := c.Pipeline
+	if depth < 1 {
+		depth = 1
+	}
+	fetch := int64(c.e.cfg.FetchSize)
+	avail := c.file.lastReadable - c.readPos
+	chunks := make([]int64, 0, depth)
+	for len(chunks) < depth && avail > 0 {
+		n := fetch
+		if avail < n {
+			n = avail
+		}
+		chunks = append(chunks, n)
+		avail -= n
+	}
+	if len(c.scratch) < int(fetch)*len(chunks) {
+		c.scratch = make([]byte, int(fetch)*len(chunks))
+	}
+	pos := c.readPos
+	bufOff := 0
+	for _, n := range chunks {
+		err := c.qp.PostSend(rdma.SendWR{
+			Op: rdma.OpRead, Local: c.scratch[bufOff : bufOff+int(n)],
+			RemoteAddr: c.file.addr + uint64(pos), RKey: c.file.rkey,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+		bufOff += int(n)
+	}
+	total := int64(0)
+	for range chunks {
+		cqe := c.qp.SendCQ().Poll(p)
+		if cqe.Status != rdma.StatusOK {
+			return nil, fmt.Errorf("client: RDMA read failed: %v", cqe.Status)
+		}
+		c.StatDataReads++
+	}
+	for _, n := range chunks {
+		total += n
+	}
+	c.readPos += total
+	p.Sleep(c.e.cfg.ConsumeCPU)
+	c.partial = append(c.partial, c.scratch[:total]...)
+
+	// Find the boundary of complete batches; a partial tail stays buffered
+	// until more bytes arrive (§4.4.2).
+	consumed := 0
+	for {
+		size, ok := krecord.PeekSize(c.partial[consumed:])
+		if !ok || consumed+size > len(c.partial) {
+			break
+		}
+		consumed += size
+	}
+	if consumed == 0 {
+		return nil, nil
+	}
+	// Copy completed batches into a caller-owned buffer — the copy the
+	// paper attributes to Kafka's consumer API requiring on-heap buffers
+	// (§5.3) — then validate integrity and decode. Returned records alias
+	// the stable copy, never the reused partial buffer.
+	stable := make([]byte, consumed)
+	copy(stable, c.partial[:consumed])
+	p.Sleep(c.e.copyTime(consumed) + c.e.crcTime(consumed))
+	c.partial = append(c.partial[:0], c.partial[consumed:]...)
+
+	var out []krecord.Record
+	if _, err := krecord.Scan(stable, func(b krecord.Batch) error {
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		recs, err := b.Records()
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if r.Offset >= c.offset {
+				out = append(out, r)
+			}
+		}
+		c.offset = b.NextOffset()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Position returns the next offset to be delivered.
+func (c *RDMAConsumer) Position() int64 { return c.offset }
+
+// Close disconnects the QP; the broker tears the session down.
+func (c *RDMAConsumer) Close() {
+	if !c.closed {
+		c.closed = true
+		c.qp.Disconnect()
+		c.ctl.Close()
+	}
+}

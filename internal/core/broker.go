@@ -1,0 +1,482 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kafkadirect/internal/fabric"
+	"kafkadirect/internal/klog"
+	"kafkadirect/internal/krecord"
+	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/rdma"
+	"kafkadirect/internal/sim"
+	"kafkadirect/internal/tcpnet"
+)
+
+// TCPPort is the broker's client/inter-broker listening port.
+const TCPPort = 9092
+
+// Broker is one storage server of the cluster (Figure 2): TCP network
+// processor threads and RDMA completion pollers feed a shared request queue
+// drained by API worker threads that operate on topic partition logs.
+type Broker struct {
+	id      string
+	env     *sim.Env
+	cfg     Config
+	cluster *Cluster
+	node    *fabric.Node
+	host    *tcpnet.Host
+	dev     *rdma.Device
+	pd      *rdma.PD
+
+	reqQ    *sim.Queue[*request]
+	respQ   *sim.Queue[*response]
+	netRes  *sim.Resource // TCP network processor thread pool
+	rdmaRes *sim.Resource // RDMA module thread pool
+	rdmaCQ  *rdma.CQ      // shared completion queue for broker-side QPs
+
+	topics  map[string]*topicState
+	offsets map[string]int64
+
+	nextSessionID        uint32
+	producerSessions     map[uint32]*rdmaProducerSession
+	consumerRDMASessions map[uint32]*consumerSession
+
+	produceFiles *produceFileTable
+
+	// loopQP is a lazily-created loopback QP pair used to issue RDMA
+	// atomics "to itself" for TCP produces to shared-access files (§4.2.2);
+	// loopRes serialises post/poll pairs on it across API workers.
+	loopQP  *rdma.QP
+	loopRes *sim.Resource
+
+	// stats for CPU accounting experiments.
+	statRequests     uint64
+	statRDMAProduces uint64
+	statEmptyFetches uint64
+}
+
+type topicState struct {
+	name  string
+	parts []*Partition
+}
+
+// request is an entry in the shared request queue (➊/➋ in Figure 2).
+type request struct {
+	// Exactly one of the following sources is set.
+	tcp  *tcpnet.Conn
+	osu  *osuSession
+	rdma *rdmaProduceEvent
+	repl *replWriteEvent
+
+	corr      uint32
+	msg       kwire.Message
+	completed bool
+}
+
+// response is an entry for the network-side response path.
+type response struct {
+	tcp *tcpnet.Conn
+	osu *osuSession
+	// zeroCopy marks responses whose payload is served from mapped files
+	// via sendfile — no send-side copy cost (the Kafka optimisation cited
+	// in §5.2 [38]).
+	zeroCopy int // payload bytes exempt from copy cost
+	frame    []byte
+}
+
+// newBroker constructs and starts a broker; use Cluster.AddBroker.
+func newBroker(c *Cluster, id string) *Broker {
+	node := c.net.NewNode(id)
+	b := &Broker{
+		id:                   id,
+		env:                  c.env,
+		cfg:                  c.cfg,
+		cluster:              c,
+		node:                 node,
+		host:                 c.stack.NewHost(node),
+		dev:                  rdma.NewDevice(node, c.rdmaCosts),
+		reqQ:                 sim.NewQueue[*request](),
+		respQ:                sim.NewQueue[*response](),
+		netRes:               sim.NewResource(c.cfg.NetThreads),
+		rdmaRes:              sim.NewResource(c.cfg.RDMAThreads),
+		loopRes:              sim.NewResource(1),
+		topics:               make(map[string]*topicState),
+		offsets:              make(map[string]int64),
+		producerSessions:     make(map[uint32]*rdmaProducerSession),
+		consumerRDMASessions: make(map[uint32]*consumerSession),
+	}
+	b.pd = b.dev.AllocPD()
+	b.rdmaCQ = b.dev.CreateCQ(0)
+	b.produceFiles = newProduceFileTable()
+	b.start()
+	return b
+}
+
+// ID returns the broker id.
+func (b *Broker) ID() string { return b.id }
+
+// Node returns the broker's fabric node.
+func (b *Broker) Node() *fabric.Node { return b.node }
+
+// Host returns the broker's TCP endpoint.
+func (b *Broker) Host() *tcpnet.Host { return b.host }
+
+// Device returns the broker's RNIC.
+func (b *Broker) Device() *rdma.Device { return b.dev }
+
+// Config returns the broker configuration.
+func (b *Broker) Config() Config { return b.cfg }
+
+// Stats reports total requests processed, RDMA produces, and empty fetches.
+func (b *Broker) Stats() (requests, rdmaProduces, emptyFetches uint64) {
+	return b.statRequests, b.statRDMAProduces, b.statEmptyFetches
+}
+
+func (b *Broker) start() {
+	ln, err := b.host.Listen(TCPPort)
+	if err != nil {
+		panic(fmt.Sprintf("core: broker %s: %v", b.id, err))
+	}
+	b.env.Go(b.id+"/acceptor", func(p *sim.Proc) {
+		for {
+			conn := ln.Accept(p)
+			c := conn
+			b.env.Go(b.id+"/conn", func(p *sim.Proc) { b.serveTCPConn(p, c) })
+		}
+	})
+	for i := 0; i < b.cfg.APIWorkers; i++ {
+		b.env.Go(fmt.Sprintf("%s/api-%d", b.id, i), b.apiWorker)
+	}
+	for i := 0; i < b.cfg.NetThreads; i++ {
+		b.env.Go(fmt.Sprintf("%s/responder-%d", b.id, i), b.responder)
+	}
+	for i := 0; i < b.cfg.RDMAThreads; i++ {
+		b.env.Go(fmt.Sprintf("%s/rdma-%d", b.id, i), b.rdmaPoller)
+	}
+	b.dev.OnAsyncEvent(b.onQPEvent)
+}
+
+// serveTCPConn is the network-processor read loop for one connection. The
+// per-message kernel cost is charged against the shared NetThreads pool so
+// that the module saturates like Kafka's (§5.3: ~53 K empty fetches/s).
+func (b *Broker) serveTCPConn(p *sim.Proc, conn *tcpnet.Conn) {
+	for {
+		raw, err := conn.RecvRaw(p)
+		if err != nil {
+			return
+		}
+		b.netRes.Use(p, conn.RecvCost(len(raw)))
+		corr, msg, err := kwire.Decode(raw)
+		if err != nil {
+			continue // a real broker logs and drops malformed frames
+		}
+		req := &request{tcp: conn, corr: corr, msg: msg}
+		// Forwarding to an API worker costs 11 µs of latency (§5.1) but
+		// does not occupy either thread.
+		b.env.After(b.cfg.HandoffDelay, func() { b.reqQ.Push(req) })
+	}
+}
+
+// responder drains the response queue, charging send costs against the
+// network thread pool.
+func (b *Broker) responder(p *sim.Proc) {
+	for {
+		r := b.respQ.Pop(p)
+		switch {
+		case r.tcp != nil:
+			costBytes := len(r.frame) - r.zeroCopy
+			if costBytes < 0 {
+				costBytes = 0
+			}
+			b.netRes.Acquire(p)
+			p.Sleep(r.tcp.SendCost(costBytes))
+			err := r.tcp.SendRaw(r.frame)
+			b.netRes.Release()
+			_ = err // peer may have gone away; nothing to do
+		case r.osu != nil:
+			b.rdmaRes.Use(p, b.cfg.OSUSendCost)
+			r.osu.send(r.frame)
+		}
+	}
+}
+
+// respond queues a response for a request's origin transport.
+func (b *Broker) respond(req *request, msg kwire.Message) {
+	b.respondZC(req, msg, 0)
+}
+
+// respondZC is respond with zeroCopy payload bytes exempted from send cost.
+func (b *Broker) respondZC(req *request, msg kwire.Message, zcBytes int) {
+	if req.completed {
+		return
+	}
+	req.completed = true
+	frame := kwire.Encode(req.corr, msg)
+	b.respQ.Push(&response{tcp: req.tcp, osu: req.osu, frame: frame, zeroCopy: zcBytes})
+}
+
+// apiWorker drains the shared request queue (➌ in Figure 2).
+func (b *Broker) apiWorker(p *sim.Proc) {
+	for {
+		req := b.reqQ.Pop(p)
+		b.statRequests++
+		b.dispatch(p, req)
+	}
+}
+
+func (b *Broker) dispatch(p *sim.Proc, req *request) {
+	switch {
+	case req.rdma != nil:
+		b.handleRDMAProduce(p, req)
+		return
+	case req.repl != nil:
+		b.handleReplicaWrite(p, req)
+		return
+	}
+	switch m := req.msg.(type) {
+	case *kwire.ProduceReq:
+		b.handleProduce(p, req, m)
+	case *kwire.FetchReq:
+		b.handleFetch(p, req, m)
+	case *kwire.MetadataReq:
+		b.handleMetadata(p, req, m)
+	case *kwire.CreateTopicReq:
+		b.handleCreateTopic(p, req, m)
+	case *kwire.ProduceAccessReq:
+		b.handleProduceAccess(p, req, m)
+	case *kwire.ConsumeAccessReq:
+		b.handleConsumeAccess(p, req, m)
+	case *kwire.ReleaseFileReq:
+		b.handleReleaseFile(p, req, m)
+	case *kwire.OffsetCommitReq:
+		p.Sleep(b.cfg.APIFixedCost)
+		b.offsets[offsetKey(m.Group, m.Topic, m.Partition)] = m.Offset
+		b.respond(req, &kwire.OffsetCommitResp{Err: kwire.ErrNone})
+	case *kwire.OffsetFetchReq:
+		p.Sleep(b.cfg.APIFixedCost)
+		off, ok := b.offsets[offsetKey(m.Group, m.Topic, m.Partition)]
+		if !ok {
+			off = -1
+		}
+		b.respond(req, &kwire.OffsetFetchResp{Err: kwire.ErrNone, Offset: off})
+	default:
+		// Unknown request kinds are dropped, like unsupported API versions.
+	}
+}
+
+func offsetKey(group, topic string, partition int32) string {
+	return fmt.Sprintf("%s|%s|%d", group, topic, partition)
+}
+
+// partition resolves a topic partition hosted on this broker.
+func (b *Broker) partition(topic string, idx int32) (*Partition, kwire.ErrCode) {
+	ts, ok := b.topics[topic]
+	if !ok {
+		return nil, kwire.ErrUnknownTopic
+	}
+	if idx < 0 || int(idx) >= len(ts.parts) || ts.parts[idx] == nil {
+		return nil, kwire.ErrUnknownPartition
+	}
+	return ts.parts[idx], kwire.ErrNone
+}
+
+// Partition exposes partition state for tests and measurement harnesses.
+func (b *Broker) Partition(topic string, idx int32) *Partition {
+	pt, _ := b.partition(topic, idx)
+	return pt
+}
+
+// crcTime, copyTime, and rpcByteTime convert byte counts to worker time.
+func (b *Broker) crcTime(n int) time.Duration {
+	return time.Duration(float64(n) / b.cfg.CRCBandwidth * 1e9)
+}
+func (b *Broker) copyTime(n int) time.Duration {
+	return time.Duration(float64(n) / b.cfg.CopyBandwidth * 1e9)
+}
+func (b *Broker) rpcByteTime(n int) time.Duration {
+	return time.Duration(float64(n) / b.cfg.RPCByteBandwidth * 1e9)
+}
+
+// handleProduce implements the TCP produce datapath (§4.2.1): validate,
+// append (the second copy), replicate, acknowledge per acks.
+func (b *Broker) handleProduce(p *sim.Proc, req *request, m *kwire.ProduceReq) {
+	pt, ec := b.partition(m.Topic, m.Partition)
+	if ec != kwire.ErrNone {
+		b.respond(req, &kwire.ProduceResp{Err: ec})
+		return
+	}
+	if !pt.IsLeader() {
+		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrNotLeader})
+		return
+	}
+	pt.acquire(p)
+	// General-purpose RPC processing + checksum verification + the copy
+	// from the network receive buffer into the file buffer (§4.2.1).
+	p.Sleep(b.cfg.APIFixedCost + b.cfg.TCPRequestExtra + b.rpcByteTime(len(m.Batch)) +
+		b.crcTime(len(m.Batch)) + b.copyTime(len(m.Batch)))
+	batch, _, err := krecord.Parse(m.Batch)
+	if err != nil || batch.Validate() != nil {
+		pt.release()
+		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrInvalidRecord})
+		return
+	}
+
+	if pf := pt.produceFile; pf != nil && pf.mode == kwire.AccessExclusive && !pf.revoked {
+		// An exclusive RDMA grant makes the broker the sole gatekeeper:
+		// no other writer may touch the file (§4.2.2).
+		pt.release()
+		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrAccessDenied})
+		return
+	}
+	if pf := pt.produceFile; pf != nil && pf.mode == kwire.AccessShared && !pf.revoked {
+		// The file is shared with RDMA producers: the broker must reserve
+		// its region through the same atomic word, issuing an RDMA FAA to
+		// itself (§4.2.2), and commit through the ordering machinery, which
+		// responds asynchronously (releasing the lock).
+		b.produceViaSharedFileAsync(p, pt, pf, m.Batch, req)
+		return
+	}
+	base, seg, err := pt.log.Append(batch)
+	if err == klog.ErrBatchTooLarge {
+		pt.release()
+		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrInvalidRecord})
+		return
+	}
+	if err != nil {
+		pt.release()
+		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrInternal})
+		return
+	}
+	if seg != pt.log.Head() { // the append rolled the segment
+		pt.sealHead()
+	}
+	pt.onAppend()
+	b.notifyReplication(pt)
+	target := base + int64(batch.Count())
+	pt.release()
+
+	if m.Acks < 0 && len(pt.replicas) > 1 {
+		pt.waitForHW(target, func() {
+			b.respond(req, &kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base})
+		})
+		return
+	}
+	b.respond(req, &kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base})
+}
+
+// handleFetch implements the TCP consume datapath (§4.4.1) and the pull
+// replication fetch (§4.3.1). Consumers see committed data only; replicas
+// read to the log end and their fetch offset doubles as a replication ack.
+func (b *Broker) handleFetch(p *sim.Proc, req *request, m *kwire.FetchReq) {
+	pt, ec := b.partition(m.Topic, m.Partition)
+	if ec != kwire.ErrNone {
+		b.respond(req, &kwire.FetchResp{Err: ec})
+		return
+	}
+	if !pt.IsLeader() {
+		b.respond(req, &kwire.FetchResp{Err: kwire.ErrNotLeader})
+		return
+	}
+	p.Sleep(b.cfg.APIFixedCost + b.cfg.FetchExtra)
+
+	isReplica := m.ReplicaID >= 0
+	if isReplica {
+		pt.acquire(p)
+		pt.recordFollowerLEO(b.cluster.brokerName(m.ReplicaID), m.Offset)
+		pt.release()
+	}
+
+	var data []byte
+	var err error
+	if isReplica {
+		data, err = pt.log.ReadUncommitted(m.Offset, int(m.MaxBytes))
+	} else {
+		data, err = pt.log.ReadCommitted(m.Offset, int(m.MaxBytes))
+	}
+	if err != nil {
+		b.respond(req, &kwire.FetchResp{Err: kwire.ErrOffsetOutOfRange})
+		return
+	}
+	if data == nil {
+		b.parkFetch(req, m, pt, isReplica)
+		return
+	}
+	b.respondZC(req, &kwire.FetchResp{
+		Err:           kwire.ErrNone,
+		HighWatermark: pt.log.HighWatermark(),
+		LogEndOffset:  pt.log.NextOffset(),
+		Data:          data,
+	}, len(data))
+}
+
+// parkFetch implements fetch purgatory: the request waits for new data (LEO
+// for replicas, HW for consumers) or its long-poll deadline.
+func (b *Broker) parkFetch(req *request, m *kwire.FetchReq, pt *Partition, isReplica bool) {
+	wait := time.Duration(m.MaxWaitMicros) * time.Microsecond
+	if wait <= 0 {
+		b.statEmptyFetches++
+		b.respond(req, &kwire.FetchResp{
+			Err:           kwire.ErrNone,
+			HighWatermark: pt.log.HighWatermark(),
+			LogEndOffset:  pt.log.NextOffset(),
+		})
+		return
+	}
+	if wait > b.cfg.FetchLongPollMax {
+		wait = b.cfg.FetchLongPollMax
+	}
+	redispatch := func() {
+		if !req.completed {
+			b.reqQ.Push(req)
+		}
+	}
+	if isReplica {
+		pt.leoWaiters = append(pt.leoWaiters, redispatch)
+	} else {
+		pt.hwPollWaiters = append(pt.hwPollWaiters, redispatch)
+	}
+	b.env.After(wait, func() {
+		if !req.completed {
+			b.statEmptyFetches++
+			b.respond(req, &kwire.FetchResp{
+				Err:           kwire.ErrNone,
+				HighWatermark: pt.log.HighWatermark(),
+				LogEndOffset:  pt.log.NextOffset(),
+			})
+		}
+	})
+}
+
+func (b *Broker) handleMetadata(p *sim.Proc, req *request, m *kwire.MetadataReq) {
+	p.Sleep(b.cfg.APIFixedCost)
+	b.respond(req, b.cluster.metadata(m.Topics))
+}
+
+func (b *Broker) handleCreateTopic(p *sim.Proc, req *request, m *kwire.CreateTopicReq) {
+	p.Sleep(b.cfg.APIFixedCost)
+	err := b.cluster.CreateTopic(m.Topic, int(m.Partitions), int(m.ReplicationFactor))
+	code := kwire.ErrNone
+	switch err {
+	case nil:
+	case errTopicExists:
+		code = kwire.ErrTopicExists
+	default:
+		code = kwire.ErrInternal
+	}
+	b.respond(req, &kwire.CreateTopicResp{Err: code})
+}
+
+// onQPEvent reacts to QP failures (§4.2.2 "client failure can be detected
+// from QP disconnection events"): produce grants bound to the failed QP are
+// revoked so a faulty client cannot keep writing, and consumer sessions tear
+// down their slots.
+func (b *Broker) onQPEvent(ev rdma.AsyncEvent) {
+	switch sess := ev.QP.UserData().(type) {
+	case *rdmaProducerSession:
+		b.revokeSessionGrants(sess)
+		delete(b.producerSessions, sess.id)
+	case *consumerSession:
+		sess.teardown()
+	}
+}

@@ -1,0 +1,139 @@
+// Package core implements the KafkaDirect broker: the original Kafka request
+// processing architecture (network processor threads feeding a shared request
+// queue drained by API worker threads, Figure 2) extended with the three RDMA
+// modules of the paper — RDMA produce (§4.2.2), RDMA push replication
+// (§4.3.2), and RDMA consume (§4.4.2) — each of which can be enabled
+// independently, exactly as the evaluation requires ("KafkaDirect supports
+// enabling only particular RDMA modules", §5.3).
+package core
+
+import (
+	"time"
+)
+
+// Config parameterises a broker (and, via Cluster, a whole deployment).
+type Config struct {
+	// APIWorkers is the number of API worker threads draining the shared
+	// request queue (Kafka default 8, §5 "Settings").
+	APIWorkers int
+	// NetThreads is the number of TCP network processor threads (default 3).
+	NetThreads int
+	// RDMAThreads is the number of threads polling RDMA completion queues.
+	RDMAThreads int
+	// SegmentSize is the preallocated TP file size (paper: 1 GiB; smaller
+	// defaults keep simulations cheap without changing behaviour).
+	SegmentSize int
+
+	// RDMAProduce, RDMAReplication, and RDMAConsume enable the three
+	// KafkaDirect modules. All false reproduces the original Kafka.
+	RDMAProduce     bool
+	RDMAReplication bool
+	RDMAConsume     bool
+
+	// ---- Cost model (see DESIGN.md §4 for provenance) ----
+
+	// HandoffDelay is the inter-thread forwarding latency between a network
+	// processor and an API worker ("forwarding a request takes 11 us", §5.1).
+	// It is latency, not CPU occupancy.
+	HandoffDelay time.Duration
+	// APIFixedCost is the fixed API-worker time to process any request.
+	APIFixedCost time.Duration
+	// TCPRequestExtra is the additional API-worker time for requests that
+	// arrive through the general-purpose RPC path (argument unpacking,
+	// buffer management) — the processing the RDMA datapaths bypass.
+	TCPRequestExtra time.Duration
+	// FetchExtra is additional API-worker time for serving a fetch.
+	FetchExtra time.Duration
+	// CRCBandwidth is the record-validation throughput (CRC32C), bytes/s.
+	CRCBandwidth float64
+	// RPCByteBandwidth is the throughput of dragging record bytes through
+	// the general-purpose RPC machinery (argument unpacking, record
+	// iteration, buffer churn) on the TCP and OSU produce paths — the
+	// "general-purpose request processing is expensive" cost (§1) that the
+	// one-sided datapaths bypass entirely.
+	RPCByteBandwidth float64
+	// CopyBandwidth is the broker-side memcpy throughput for the TCP produce
+	// path's receive-buffer→file-buffer copy (§4.2.1), bytes/s.
+	CopyBandwidth float64
+	// RDMACompletionCost is the RDMA-module thread time per completion event.
+	RDMACompletionCost time.Duration
+	// OSURecvCost / OSUSendCost are per-message costs of the two-sided
+	// RDMA Send/Recv transport used by OSU Kafka [33]: no kernel, but
+	// polling wakeups, JNI crossings, and receive-buffer management remain.
+	OSURecvCost time.Duration
+	OSUSendCost time.Duration
+
+	// ---- Replication ----
+
+	// ReplicaFetchWait is the long-poll wait of pull-replication fetchers.
+	ReplicaFetchWait time.Duration
+	// ReplicaMaxBytes is the pull fetch size.
+	ReplicaMaxBytes int
+	// PushCredits is the number of outstanding push-replication writes a
+	// follower grants its leader (§4.3.2, credit-based flow control).
+	PushCredits int
+	// PushMaxBatch is the opportunistic batching limit in bytes for push
+	// replication (the paper settles on 1 KiB, §4.3.2).
+	PushMaxBatch int
+	// ReplicaWriteExtra is the follower-side fixed cost per replicated
+	// WriteWithImm beyond normal request processing (completion handling,
+	// queueing, the exclusive write lock) — the per-write overhead that
+	// makes a flood of unbatched small records bind the follower first
+	// (§4.3.2, Fig. 17).
+	ReplicaWriteExtra time.Duration
+
+	// ---- RDMA produce ----
+
+	// ProduceOrderTimeout aborts a shared-mode RDMA produce whose
+	// predecessor never arrived (hole prevention, §4.2.2).
+	ProduceOrderTimeout time.Duration
+
+	// ---- Consume ----
+
+	// SlotsPerConsumer is the size of each consumer's metadata slot region.
+	SlotsPerConsumer int
+	// FetchLongPollMax caps how long a TCP fetch may be parked.
+	FetchLongPollMax time.Duration
+}
+
+// DefaultConfig returns the calibrated configuration used across the
+// reproduction.
+func DefaultConfig() Config {
+	return Config{
+		APIWorkers:  8,
+		NetThreads:  3,
+		RDMAThreads: 2,
+		SegmentSize: 16 << 20,
+
+		HandoffDelay:       11 * time.Microsecond,
+		APIFixedCost:       5 * time.Microsecond,
+		TCPRequestExtra:    12 * time.Microsecond,
+		FetchExtra:         8 * time.Microsecond,
+		CRCBandwidth:       3 << 30,
+		RPCByteBandwidth:   1 << 30,
+		CopyBandwidth:      5 << 30,
+		RDMACompletionCost: 2 * time.Microsecond,
+		OSURecvCost:        28 * time.Microsecond,
+		OSUSendCost:        20 * time.Microsecond,
+
+		ReplicaFetchWait:  5 * time.Millisecond,
+		ReplicaMaxBytes:   1 << 20,
+		PushCredits:       64,
+		PushMaxBatch:      1024,
+		ReplicaWriteExtra: 3 * time.Microsecond,
+
+		ProduceOrderTimeout: 2 * time.Millisecond,
+
+		SlotsPerConsumer: 16,
+		FetchLongPollMax: 10 * time.Millisecond,
+	}
+}
+
+// WithRDMA returns a copy of the configuration with all three RDMA modules
+// enabled.
+func (c Config) WithRDMA() Config {
+	c.RDMAProduce = true
+	c.RDMAReplication = true
+	c.RDMAConsume = true
+	return c
+}

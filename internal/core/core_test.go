@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImmEncodingRoundTrip(t *testing.T) {
+	property := func(order, fileID uint16) bool {
+		o, f := DecodeImm(EncodeImm(order, fileID))
+		return o == order && f == fileID
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImmEncodingLayoutMatchesFigure4(t *testing.T) {
+	// Figure 4: 16-bit order in the high half, 16-bit TP identifier low.
+	imm := EncodeImm(0x1234, 0x5678)
+	if imm != 0x12345678 {
+		t.Fatalf("imm = %#x", imm)
+	}
+}
+
+func TestSharedWordRoundTrip(t *testing.T) {
+	property := func(order uint16, offset int64) bool {
+		if offset < 0 {
+			offset = -offset
+		}
+		offset &= int64(SharedOffsetMask)
+		o, off := UnpackShared(PackShared(order, offset))
+		return o == order && off == offset
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedDeltaIncrementsBothFields(t *testing.T) {
+	// Figure 5: one FAA must advance the order by one and the offset by the
+	// record size.
+	word := PackShared(41, 1000)
+	word += SharedDelta(256)
+	order, offset := UnpackShared(word)
+	if order != 42 || offset != 1256 {
+		t.Fatalf("order=%d offset=%d", order, offset)
+	}
+}
+
+func TestSharedOffsetOverflowVisibleInWord(t *testing.T) {
+	// FAA always succeeds; producers detect overflow because the 48-bit
+	// offset field exceeds the file length (§4.2.2).
+	fileLen := int64(1 << 20)
+	word := PackShared(0, fileLen-100)
+	word += SharedDelta(4096)
+	_, offset := UnpackShared(word)
+	if offset <= fileLen {
+		t.Fatalf("offset %d should exceed file length %d", offset, fileLen)
+	}
+}
+
+func TestSharedOrderWrapsAt16Bits(t *testing.T) {
+	word := PackShared(0xffff, 0)
+	word += SharedDelta(8)
+	order, offset := UnpackShared(word)
+	if order != 0 {
+		t.Fatalf("order should wrap to 0, got %d", order)
+	}
+	if offset != 8 {
+		t.Fatalf("offset = %d; an order wrap must not corrupt the offset", offset)
+	}
+}
+
+func TestSlotEncodingRoundTrip(t *testing.T) {
+	property := func(lastReadable int64, mutable bool) bool {
+		if lastReadable < 0 {
+			lastReadable = -lastReadable
+		}
+		buf := make([]byte, SlotSize)
+		WriteSlot(buf, lastReadable, mutable)
+		lr, m := ReadSlot(buf)
+		return lr == lastReadable && m == mutable
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProduceFileTableAssignsUniqueIDs(t *testing.T) {
+	tab := newProduceFileTable()
+	seen := map[uint16]bool{}
+	for i := 0; i < 1000; i++ {
+		f := &rdmaFile{}
+		id := tab.add(f)
+		if seen[id] {
+			t.Fatalf("duplicate file id %d", id)
+		}
+		seen[id] = true
+		if tab.get(id) != f {
+			t.Fatalf("lookup of %d failed", id)
+		}
+	}
+	// Remove and re-add: ids may be recycled but never collide with live ones.
+	for id := range seen {
+		tab.remove(id)
+	}
+	f := &rdmaFile{}
+	tab.add(f)
+	if tab.get(f.id) != f {
+		t.Fatal("reuse after removal broken")
+	}
+}
+
+func TestProduceFileTableSkipsInUseIDsOnWrap(t *testing.T) {
+	tab := newProduceFileTable()
+	tab.nextID = 0xfffe
+	a := &rdmaFile{}
+	tab.add(a) // 0xffff
+	b := &rdmaFile{}
+	tab.add(b) // wraps to 1
+	if a.id == b.id {
+		t.Fatal("id collision after wrap")
+	}
+	c := &rdmaFile{}
+	tab.nextID = a.id - 1
+	tab.add(c)
+	if c.id == a.id || c.id == b.id {
+		t.Fatalf("wrap re-assigned a live id: %d", c.id)
+	}
+}
+
+func TestConfigWithRDMA(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.RDMAProduce || cfg.RDMAReplication || cfg.RDMAConsume {
+		t.Fatal("default config must be the unmodified-Kafka baseline")
+	}
+	on := cfg.WithRDMA()
+	if !on.RDMAProduce || !on.RDMAReplication || !on.RDMAConsume {
+		t.Fatal("WithRDMA must enable all three modules")
+	}
+	if cfg.RDMAProduce {
+		t.Fatal("WithRDMA must not mutate the receiver")
+	}
+}

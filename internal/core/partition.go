@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"kafkadirect/internal/klog"
+	"kafkadirect/internal/rdma"
+	"kafkadirect/internal/sim"
+)
+
+// Partition is one topic partition hosted on a broker — as the leader (it
+// accepts produces and serves consumers) or as a follower (it passively
+// replicates the leader, §3 "Kafka Broker").
+type Partition struct {
+	broker   *Broker
+	topic    string
+	index    int32
+	log      *klog.Log
+	leaderID string
+	replicas []string // broker ids, leader included
+
+	// lock serialises API workers on the partition: "each TP file can be
+	// accessed by at most one API worker at a time due to locking" (§5.1).
+	lock *sim.Resource
+
+	// followerLEO tracks each follower's log end offset, learned from pull
+	// fetch offsets or push-replication acks; the high watermark is the
+	// minimum over the leader's LEO and all followers'.
+	followerLEO map[string]int64
+
+	// hwWaiters are continuations waiting for the high watermark to reach
+	// an offset (produce acks=all responses).
+	hwWaiters []offsetWaiter
+	// leoWaiters are parked long-poll fetches from replicas (wake on
+	// append); hwPollWaiters are parked consumer fetches (wake on commit).
+	leoWaiters    []func()
+	hwPollWaiters []func()
+
+	// segWriteMRs and segReadMRs cache RDMA registrations of segments:
+	// write grants (producers, replication) and read registrations
+	// (consumers) are separate, so revoking a faulty producer's write
+	// access does not fence off readers.
+	segWriteMRs map[int]*rdma.MR
+	segReadMRs  map[int]*rdma.MR
+	// slotRefs lists the consumer metadata slots mirroring each segment's
+	// last-readable byte, keyed by segment id (Fig. 9: "each registered
+	// file has a list of slots assigned to it").
+	slotRefs map[int][]*slotRef
+	// segReaders counts RDMA consumers registered on each segment, for
+	// deciding when a registration can be dropped.
+	segReaders map[int]int
+
+	// produceFile is the active RDMA produce grant for the head file, if any.
+	produceFile *rdmaFile
+
+	// pushRepl is the leader-side push replication state (nil unless the
+	// RDMA replication module is enabled and this broker leads the TP).
+	pushRepl *pushReplicator
+}
+
+type offsetWaiter struct {
+	offset int64
+	fn     func()
+}
+
+func (pt *Partition) key() string { return fmt.Sprintf("%s/%d", pt.topic, pt.index) }
+
+// IsLeader reports whether the owning broker leads this partition.
+func (pt *Partition) IsLeader() bool { return pt.leaderID == pt.broker.id }
+
+// Log exposes the underlying storage (tests and diagnostics).
+func (pt *Partition) Log() *klog.Log { return pt.log }
+
+// Replicas returns the broker ids hosting the partition.
+func (pt *Partition) Replicas() []string { return pt.replicas }
+
+// acquire/release wrap the per-partition API-worker lock.
+func (pt *Partition) acquire(p *sim.Proc) { pt.lock.Acquire(p) }
+func (pt *Partition) release()            { pt.lock.Release() }
+
+// segWriteMR returns (registering on demand) the writable MR covering a
+// segment, used by produce grants and push-replication grants.
+func (pt *Partition) segWriteMR(seg *klog.Segment) (*rdma.MR, error) {
+	return pt.cachedMR(pt.segWriteMRs, seg, rdma.AccessRemoteWrite)
+}
+
+// segReadMR returns (registering on demand) the readable MR covering a
+// segment, used by RDMA consumers.
+func (pt *Partition) segReadMR(seg *klog.Segment) (*rdma.MR, error) {
+	return pt.cachedMR(pt.segReadMRs, seg, rdma.AccessRemoteRead)
+}
+
+func (pt *Partition) cachedMR(cache map[int]*rdma.MR, seg *klog.Segment, access rdma.Access) (*rdma.MR, error) {
+	if mr, ok := cache[seg.ID()]; ok {
+		return mr, nil
+	}
+	mr, err := pt.broker.pd.RegisterMR(seg.Bytes(), access)
+	if err != nil {
+		return nil, err
+	}
+	cache[seg.ID()] = mr
+	return mr, nil
+}
+
+// dropWriteMR revokes a segment's write registration (produce revocation).
+func (pt *Partition) dropWriteMR(segID int) {
+	if mr, ok := pt.segWriteMRs[segID]; ok {
+		mr.Deregister()
+		delete(pt.segWriteMRs, segID)
+	}
+}
+
+// dropReadMR drops a segment's read registration (consumer ReleaseFile).
+func (pt *Partition) dropReadMR(segID int) {
+	if mr, ok := pt.segReadMRs[segID]; ok {
+		mr.Deregister()
+		delete(pt.segReadMRs, segID)
+	}
+}
+
+// onAppend runs after the leader log end advances: wakes replica long-polls
+// and, for an unreplicated partition, commits immediately.
+func (pt *Partition) onAppend() {
+	if len(pt.replicas) <= 1 {
+		pt.advanceHW(pt.log.NextOffset())
+	}
+	waiters := pt.leoWaiters
+	pt.leoWaiters = nil
+	for _, fn := range waiters {
+		fn()
+	}
+}
+
+// recordFollowerLEO updates a follower's replication progress and advances
+// the high watermark if every in-sync replica has caught up further.
+func (pt *Partition) recordFollowerLEO(brokerID string, leo int64) {
+	if cur, ok := pt.followerLEO[brokerID]; !ok || leo > cur {
+		pt.followerLEO[brokerID] = leo
+	}
+	min := pt.log.NextOffset()
+	for _, id := range pt.replicas {
+		if id == pt.broker.id {
+			continue
+		}
+		if leo, ok := pt.followerLEO[id]; !ok {
+			return // a replica has not reported yet
+		} else if leo < min {
+			min = leo
+		}
+	}
+	pt.advanceHW(min)
+}
+
+// advanceHW commits offsets below hw: storage watermark and last-readable
+// bytes move, metadata slots are rewritten (§4.4.2, "when the ... last
+// readable byte of the file is changed, the broker updates all the metadata
+// slots associated with it"), and parked produces and fetches complete.
+func (pt *Partition) advanceHW(hw int64) {
+	before := pt.log.HighWatermark()
+	pt.log.AdvanceHW(hw)
+	after := pt.log.HighWatermark()
+	if after == before {
+		return
+	}
+	// Refresh every slot mirroring a segment whose committed byte moved.
+	for segID, refs := range pt.slotRefs {
+		seg := pt.log.Segment(segID)
+		for _, ref := range refs {
+			ref.update(seg)
+		}
+	}
+	// Complete produce waiters whose target offset is now committed.
+	var still []offsetWaiter
+	for _, w := range pt.hwWaiters {
+		if w.offset <= after {
+			w.fn()
+		} else {
+			still = append(still, w)
+		}
+	}
+	pt.hwWaiters = still
+	// Wake parked consumer fetches.
+	polls := pt.hwPollWaiters
+	pt.hwPollWaiters = nil
+	for _, fn := range polls {
+		fn()
+	}
+}
+
+// waitForHW registers fn to run once the high watermark reaches offset
+// (runs immediately if it already has).
+func (pt *Partition) waitForHW(offset int64, fn func()) {
+	if pt.log.HighWatermark() >= offset {
+		fn()
+		return
+	}
+	pt.hwWaiters = append(pt.hwWaiters, offsetWaiter{offset: offset, fn: fn})
+}
+
+// sealHead rolls the head segment and updates consume metadata: slots
+// mirroring the sealed segment flip their mutable bit (§4.4.2).
+func (pt *Partition) sealHead() *klog.Segment {
+	old := pt.log.Head()
+	newHead := pt.log.Roll()
+	for _, ref := range pt.slotRefs[old.ID()] {
+		ref.update(old)
+	}
+	return newHead
+}
+
+// newPartitionLog builds the partition's storage with the broker's segment
+// size.
+func newPartitionLog(cfg Config) *klog.Log {
+	return klog.New(klog.Config{SegmentSize: cfg.SegmentSize})
+}
+
+// PushStats reports the push-replication counters of the first follower
+// link (diagnostics): writes posted, batches merged, bytes pushed.
+func (pt *Partition) PushStats() (writes, batches, bytes uint64) {
+	if pt.pushRepl == nil || len(pt.pushRepl.links) == 0 {
+		return 0, 0, 0
+	}
+	l := pt.pushRepl.links[0]
+	return l.statWrites, l.statBatches, l.statBytes
+}

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"kafkadirect/internal/krecord"
+	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/rdma"
+	"kafkadirect/internal/sim"
+)
+
+// This file implements the RDMA produce module (➎ in Figure 2, §4.2.2):
+// producers write record batches directly into topic partition head files
+// with RDMA WriteWithImm; the broker learns where the data landed from the
+// 32-bit immediate value and commits the records in arrival order.
+
+// Immediate-data encoding (Figure 4): 16-bit producer order in the high half,
+// 16-bit file ID in the low half.
+
+// EncodeImm packs an order and file ID into immediate data.
+func EncodeImm(order uint16, fileID uint16) uint32 {
+	return uint32(order)<<16 | uint32(fileID)
+}
+
+// DecodeImm unpacks immediate data.
+func DecodeImm(imm uint32) (order uint16, fileID uint16) {
+	return uint16(imm >> 16), uint16(imm)
+}
+
+// Shared-access atomic word (Figure 5): 16-bit order in the high two bytes,
+// 48-bit file offset in the low six. A producer reserves space with one
+// Fetch-and-Add of SharedDelta(size): order += 1, offset += size. Because
+// FAA always succeeds, reservations can run past the real file size; the
+// 48-bit offset field gives producers the slack to detect that overflow.
+
+// SharedOffsetBits is the width of the offset field in the atomic word.
+const SharedOffsetBits = 48
+
+// SharedOffsetMask extracts the offset field.
+const SharedOffsetMask = (uint64(1) << SharedOffsetBits) - 1
+
+// PackShared builds the atomic word from an order and a byte offset.
+func PackShared(order uint16, offset int64) uint64 {
+	return uint64(order)<<SharedOffsetBits | (uint64(offset) & SharedOffsetMask)
+}
+
+// UnpackShared splits the atomic word.
+func UnpackShared(word uint64) (order uint16, offset int64) {
+	return uint16(word >> SharedOffsetBits), int64(word & SharedOffsetMask)
+}
+
+// SharedDelta is the FAA addend reserving size bytes: +1 order, +size offset.
+func SharedDelta(size int) uint64 {
+	return uint64(1)<<SharedOffsetBits + uint64(size)
+}
+
+// errGrantConflict reports an exclusive-access collision.
+var errGrantConflict = errors.New("core: file already granted")
+
+// Write+Send notification (§4.2.2 "The choice of notification method"): the
+// alternative to WriteWithImm is a plain RDMA Write followed by an RDMA Send
+// carrying the request metadata. InfiniBand's in-order processing guarantees
+// the data is in place before the metadata arrives. The frame below is the
+// Send payload; it can be padded to emulate richer metadata (the paper
+// sweeps 4–512 B sends).
+
+// WriteSendMetaSize is the minimum metadata frame size.
+const WriteSendMetaSize = 8
+
+// EncodeWriteSendMeta builds a metadata frame of at least padTo bytes.
+func EncodeWriteSendMeta(order, fileID uint16, length int, padTo int) []byte {
+	n := WriteSendMetaSize
+	if padTo > n {
+		n = padTo
+	}
+	buf := make([]byte, n)
+	binary.LittleEndian.PutUint16(buf[0:], order)
+	binary.LittleEndian.PutUint16(buf[2:], fileID)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(length))
+	return buf
+}
+
+// DecodeWriteSendMeta parses a metadata frame.
+func DecodeWriteSendMeta(buf []byte) (order, fileID uint16, length int, ok bool) {
+	if len(buf) < WriteSendMetaSize {
+		return 0, 0, 0, false
+	}
+	return binary.LittleEndian.Uint16(buf[0:]),
+		binary.LittleEndian.Uint16(buf[2:]),
+		int(binary.LittleEndian.Uint32(buf[4:])), true
+}
+
+// rdmaFile is one RDMA-writable head file grant.
+type rdmaFile struct {
+	id      uint16
+	pt      *Partition
+	segID   int
+	mr      *rdma.MR
+	mode    kwire.AccessMode
+	owner   *rdmaProducerSession // exclusive mode only
+	revoked bool
+
+	// Shared-mode coordination state.
+	atomicBuf []byte // the 8-byte order|offset word, RDMA-atomic-accessible
+	atomicMR  *rdma.MR
+	// expectedOrder is the next order value the module may commit;
+	// nextPos is the byte position that order's data starts at.
+	expectedOrder uint16
+	nextPos       int64
+	// pending parks out-of-order arrivals until their predecessors commit
+	// (hole prevention, §4.2.2).
+	pending map[uint16]*produceEntry
+}
+
+// produceEntry is one produce awaiting in-order commit on a shared file.
+type produceEntry struct {
+	order uint16
+	size  int
+	// sess is set for RDMA producers (ack goes back over the QP);
+	// req is set for TCP/OSU produces routed through the shared word.
+	sess      *rdmaProducerSession
+	req       *request
+	processed bool
+}
+
+// produceFileTable maps 16-bit file IDs to grants.
+type produceFileTable struct {
+	files  map[uint16]*rdmaFile
+	nextID uint16
+}
+
+func newProduceFileTable() *produceFileTable {
+	return &produceFileTable{files: make(map[uint16]*rdmaFile)}
+}
+
+func (t *produceFileTable) add(f *rdmaFile) uint16 {
+	for {
+		t.nextID++
+		if _, used := t.files[t.nextID]; !used {
+			break
+		}
+	}
+	f.id = t.nextID
+	t.files[f.id] = f
+	return f.id
+}
+
+func (t *produceFileTable) get(id uint16) *rdmaFile { return t.files[id] }
+
+func (t *produceFileTable) remove(id uint16) { delete(t.files, id) }
+
+// rdmaProduceEvent is a WriteWithImm completion turned into a request.
+type rdmaProduceEvent struct {
+	sess *rdmaProducerSession
+	imm  uint32
+	size int
+}
+
+// handleProduceAccess serves the "get RDMA produce address" control request
+// (§4.2.2 "Getting RDMA access"), arriving over TCP.
+func (b *Broker) handleProduceAccess(p *sim.Proc, req *request, m *kwire.ProduceAccessReq) {
+	p.Sleep(b.cfg.APIFixedCost)
+	fail := func(code kwire.ErrCode) {
+		b.respond(req, &kwire.ProduceAccessResp{Err: code})
+	}
+	if !b.cfg.RDMAProduce {
+		fail(kwire.ErrAccessDenied)
+		return
+	}
+	pt, ec := b.partition(m.Topic, m.Partition)
+	if ec != kwire.ErrNone {
+		fail(ec)
+		return
+	}
+	if !pt.IsLeader() {
+		fail(kwire.ErrNotLeader)
+		return
+	}
+	sess := b.sessionByID(m.Session)
+	if sess == nil {
+		fail(kwire.ErrAccessDenied)
+		return
+	}
+	pt.acquire(p)
+	defer pt.release()
+
+	if pf := pt.produceFile; pf != nil && !pf.revoked {
+		switch {
+		case pf.mode == kwire.AccessShared && m.Mode == kwire.AccessShared:
+			if pf.exhausted() {
+				// A producer came back because reservations ran past the
+				// file end: seal the head and regrant on a fresh file.
+				b.revokeFile(pf, kwire.ErrRevoked)
+				pt.sealHead()
+			} else {
+				// Shared grants are handed to any number of producers.
+				b.respond(req, pf.accessResp())
+				return
+			}
+		case pf.mode == kwire.AccessExclusive && pf.owner == sess:
+			// The owner re-requests access: it ran out of space in the head
+			// file (§4.2.2) — seal it and grant the next one.
+			b.revokeFile(pf, kwire.ErrRevoked)
+			pt.sealHead()
+		default:
+			// "The broker never grants exclusive access to the same file to
+			// two producers" (§4.2.2) — and never mixes modes on one file.
+			fail(kwire.ErrAccessDenied)
+			return
+		}
+	}
+
+	f, err := b.grantProduceFile(pt, sess, m.Mode)
+	if err != nil {
+		fail(kwire.ErrInternal)
+		return
+	}
+	b.respond(req, f.accessResp())
+}
+
+// grantProduceFile registers the head segment for RDMA write access and
+// builds the grant state. The partition lock must be held.
+func (b *Broker) grantProduceFile(pt *Partition, sess *rdmaProducerSession, mode kwire.AccessMode) (*rdmaFile, error) {
+	head := pt.log.Head()
+	mr, err := pt.segWriteMR(head)
+	if err != nil {
+		return nil, err
+	}
+	f := &rdmaFile{
+		pt:      pt,
+		segID:   head.ID(),
+		mr:      mr,
+		mode:    mode,
+		nextPos: int64(head.Len()),
+		pending: make(map[uint16]*produceEntry),
+	}
+	if mode == kwire.AccessExclusive {
+		f.owner = sess
+		sess.grants = append(sess.grants, f)
+	} else {
+		f.atomicBuf = make([]byte, 8)
+		binary.LittleEndian.PutUint64(f.atomicBuf, PackShared(0, f.nextPos))
+		amr, err := b.pd.RegisterMR(f.atomicBuf, rdma.AccessRemoteAtomic|rdma.AccessRemoteRead)
+		if err != nil {
+			mr.Deregister()
+			return nil, err
+		}
+		f.atomicMR = amr
+	}
+	b.produceFiles.add(f)
+	pt.produceFile = f
+	return f, nil
+}
+
+func (f *rdmaFile) accessResp() *kwire.ProduceAccessResp {
+	seg := f.pt.log.Segment(f.segID)
+	resp := &kwire.ProduceAccessResp{
+		Err:      kwire.ErrNone,
+		FileID:   f.id,
+		Addr:     f.mr.Addr(),
+		RKey:     f.mr.RKey(),
+		FileLen:  int64(seg.Capacity()),
+		WritePos: int64(seg.Len()),
+	}
+	if f.mode == kwire.AccessShared {
+		resp.AtomicAddr = f.atomicMR.Addr()
+		resp.AtomicRKey = f.atomicMR.RKey()
+	}
+	return resp
+}
+
+// exhausted reports whether shared reservations have run past the file end.
+func (f *rdmaFile) exhausted() bool {
+	if f.mode != kwire.AccessShared {
+		return false
+	}
+	_, off := UnpackShared(binary.LittleEndian.Uint64(f.atomicBuf))
+	seg := f.pt.log.Segment(f.segID)
+	return off > int64(seg.Capacity())
+}
+
+// revokeFile disables a grant: the MRs are deregistered so in-flight writes
+// from faulty clients fail, and every parked produce aborts (§4.2.2).
+func (b *Broker) revokeFile(f *rdmaFile, code kwire.ErrCode) {
+	if f.revoked {
+		return
+	}
+	f.revoked = true
+	b.produceFiles.remove(f.id)
+	if f.pt.produceFile == f {
+		f.pt.produceFile = nil
+	}
+	// Deregister the writable MR so "a faulty client still accessing the
+	// memory of a TP file" is fenced off; read registrations are untouched,
+	// so consumers keep working. A future grant re-registers.
+	f.pt.dropWriteMR(f.segID)
+	if f.atomicMR != nil {
+		f.atomicMR.Deregister()
+	}
+	for _, e := range f.pending {
+		if e.processed {
+			continue
+		}
+		e.processed = true
+		b.abortEntry(e, code)
+	}
+	f.pending = nil
+	if f.owner != nil {
+		f.owner.removeGrant(f)
+	}
+}
+
+func (b *Broker) abortEntry(e *produceEntry, code kwire.ErrCode) {
+	if e.sess != nil {
+		e.sess.sendAck(&kwire.ProduceResp{Err: code})
+	}
+	if e.req != nil {
+		b.respond(e.req, &kwire.ProduceResp{Err: code})
+	}
+}
+
+// revokeSessionGrants revokes every exclusive grant owned by a disconnected
+// session (QP failure detection, §4.2.2).
+func (b *Broker) revokeSessionGrants(sess *rdmaProducerSession) {
+	for _, f := range append([]*rdmaFile(nil), sess.grants...) {
+		b.revokeFile(f, kwire.ErrRevoked)
+	}
+}
+
+// handleRDMAProduce processes one WriteWithImm completion (➌→➎→➍ in
+// Figure 2): map the file ID, enforce ordering, validate, and commit.
+func (b *Broker) handleRDMAProduce(p *sim.Proc, req *request) {
+	ev := req.rdma
+	b.statRDMAProduces++
+	order, fileID := DecodeImm(ev.imm)
+	f := b.produceFiles.get(fileID)
+	if f == nil || f.revoked {
+		ev.sess.sendAck(&kwire.ProduceResp{Err: kwire.ErrRevoked})
+		return
+	}
+	pt := f.pt
+	pt.acquire(p)
+	defer pt.release()
+	if f.revoked { // may have been revoked while we waited for the lock
+		ev.sess.sendAck(&kwire.ProduceResp{Err: kwire.ErrRevoked})
+		return
+	}
+
+	if f.mode == kwire.AccessExclusive {
+		// Completion events on one QP arrive in write order, and requests
+		// are enqueued and locked in completion order, so the data for this
+		// event starts exactly at the current append position.
+		b.commitRDMAProduce(p, f, ev.sess, nil, ev.size)
+		return
+	}
+
+	entry := &produceEntry{order: order, size: ev.size, sess: ev.sess}
+	b.deliverShared(p, f, entry)
+}
+
+// deliverShared runs the shared-access ordering machine: commit the entry if
+// it is next in order (and drain any successors it unblocks), otherwise park
+// it with a hole-prevention timeout. Partition lock held.
+func (b *Broker) deliverShared(p *sim.Proc, f *rdmaFile, e *produceEntry) {
+	if e.order != f.expectedOrder {
+		f.pending[e.order] = e
+		b.armHoleTimeout(f, e)
+		return
+	}
+	b.processSharedEntry(p, f, e)
+	for !f.revoked {
+		next, ok := f.pending[f.expectedOrder]
+		if !ok {
+			break
+		}
+		delete(f.pending, f.expectedOrder)
+		b.processSharedEntry(p, f, next)
+	}
+}
+
+func (b *Broker) processSharedEntry(p *sim.Proc, f *rdmaFile, e *produceEntry) {
+	e.processed = true
+	f.expectedOrder++
+	seg := f.pt.log.Segment(f.segID)
+	if f.nextPos+int64(e.size) > int64(seg.Capacity()) {
+		// The reservation ran past the preallocated file: nothing was
+		// written (well-behaved producers check the offset they fetched).
+		// Every later reservation is displaced too, so the whole grant is
+		// retired; producers re-request access and land on the next file.
+		b.abortEntry(e, kwire.ErrRevoked)
+		b.revokeFile(f, kwire.ErrRevoked)
+		return
+	}
+	b.commitRDMAProduce(p, f, e.sess, e.req, e.size)
+	f.nextPos += int64(e.size)
+}
+
+// armHoleTimeout aborts the file if entry e is still waiting for its
+// predecessors after the configured timeout (§4.2.2: "if a produce request
+// is timed out it gets aborted and RDMA access to the file is revoked
+// causing abortion of all pending produce requests").
+func (b *Broker) armHoleTimeout(f *rdmaFile, e *produceEntry) {
+	b.env.After(b.cfg.ProduceOrderTimeout, func() {
+		if e.processed || f.revoked {
+			return
+		}
+		b.revokeFile(f, kwire.ErrRevoked)
+	})
+}
+
+// commitRDMAProduce validates and commits one batch already present in the
+// file buffer at the current append position; zero data copies happen here.
+// Partition lock held.
+func (b *Broker) commitRDMAProduce(p *sim.Proc, f *rdmaFile, sess *rdmaProducerSession, tcpReq *request, size int) {
+	pt := f.pt
+	seg := pt.log.Segment(f.segID)
+	p.Sleep(b.cfg.APIFixedCost + b.crcTime(size))
+
+	ackErr := func(code kwire.ErrCode) {
+		if sess != nil {
+			sess.sendAck(&kwire.ProduceResp{Err: code})
+		}
+		if tcpReq != nil {
+			b.respond(tcpReq, &kwire.ProduceResp{Err: code})
+		}
+	}
+
+	start := seg.Len()
+	batch, _, err := krecord.Parse(seg.Bytes()[start : start+size])
+	if err != nil || batch.Validate() != nil {
+		// Garbage in the reserved region: fence the file off entirely —
+		// offsets cannot be assigned past a corrupt region.
+		b.revokeFile(f, kwire.ErrInvalidRecord)
+		ackErr(kwire.ErrInvalidRecord)
+		return
+	}
+	base, err := pt.log.CommitReserved(seg, start, size)
+	if err != nil {
+		b.revokeFile(f, kwire.ErrInternal)
+		ackErr(kwire.ErrInternal)
+		return
+	}
+	pt.onAppend()
+	b.notifyReplication(pt)
+
+	target := base + int64(batch.Count())
+	deliver := func() {
+		if sess != nil {
+			sess.sendAck(&kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base})
+		}
+		if tcpReq != nil {
+			b.respond(tcpReq, &kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base})
+		}
+	}
+	if len(pt.replicas) > 1 {
+		pt.waitForHW(target, deliver)
+		return
+	}
+	deliver()
+}
+
+// produceViaSharedFileAsync routes a TCP produce through the shared-access
+// machinery: the broker reserves a region by issuing an RDMA FAA to itself
+// (§4.2.2), copies the already-validated batch into the reservation, and
+// commits through the same ordering path as RDMA producers. Responds
+// asynchronously. Partition lock held by the caller and released here.
+func (b *Broker) produceViaSharedFileAsync(p *sim.Proc, pt *Partition, f *rdmaFile, data []byte, req *request) {
+	qp := b.loopbackQP()
+	// Serialise post+poll pairs: concurrent workers on different partitions
+	// share the loopback QP and must not steal each other's completions.
+	b.loopRes.Acquire(p)
+	old := make([]byte, 8)
+	err := qp.PostSend(rdma.SendWR{
+		Op:         rdma.OpFetchAdd,
+		Local:      old,
+		RemoteAddr: f.atomicMR.Addr(),
+		RKey:       f.atomicMR.RKey(),
+		Add:        SharedDelta(len(data)),
+	})
+	if err != nil {
+		b.loopRes.Release()
+		pt.release()
+		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrInternal})
+		return
+	}
+	cqe := qp.SendCQ().Poll(p)
+	b.loopRes.Release()
+	if cqe.Status != rdma.StatusOK {
+		pt.release()
+		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrInternal})
+		return
+	}
+	order, offset := UnpackShared(cqe.Old)
+	seg := pt.log.Segment(f.segID)
+	entry := &produceEntry{order: order, size: len(data), req: req}
+	if offset+int64(len(data)) <= int64(seg.Capacity()) {
+		copy(seg.Bytes()[offset:], data)
+	}
+	b.deliverShared(p, f, entry)
+	pt.release()
+}
+
+// loopbackQP lazily builds the broker's QP pair to itself.
+func (b *Broker) loopbackQP() *rdma.QP {
+	if b.loopQP == nil {
+		a := b.dev.CreateQP(rdma.QPConfig{})
+		c := b.dev.CreateQP(rdma.QPConfig{})
+		if err := rdma.Connect(a, c); err != nil {
+			panic("core: loopback connect: " + err.Error())
+		}
+		b.loopQP = a
+	}
+	return b.loopQP
+}

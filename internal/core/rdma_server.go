@@ -1,0 +1,250 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/rdma"
+	"kafkadirect/internal/sim"
+)
+
+// This file implements the broker's RDMA network module (Figure 2): the
+// broker-side halves of client and inter-broker queue pairs, the shared
+// completion queue its thread workers poll, and the translation of
+// completion events into requests on the shared request queue (➋).
+
+// producerRecvDepth is how many receives the broker keeps posted per
+// producer QP. Producer clients bound their in-flight writes well below it.
+const producerRecvDepth = 256
+
+// osuRecvDepth and osuBufSize size the OSU transport's receive buffers: a
+// two-sided design must provision buffers for the largest request up front —
+// memory the one-sided design does not need.
+const (
+	osuRecvDepth = 64
+	osuBufSize   = 1<<20 + 4096
+)
+
+// producerMetaBufSize sizes the receive buffers on producer QPs: they carry
+// Write+Send metadata frames (the paper sweeps up to 512 B sends).
+const producerMetaBufSize = 576
+
+// rdmaProducerSession is the broker-side state for one RDMA producer client.
+type rdmaProducerSession struct {
+	b      *Broker
+	id     uint32
+	qp     *rdma.QP
+	bufs   [][]byte
+	grants []*rdmaFile
+}
+
+func (s *rdmaProducerSession) removeGrant(f *rdmaFile) {
+	for i, g := range s.grants {
+		if g == f {
+			s.grants = append(s.grants[:i], s.grants[i+1:]...)
+			return
+		}
+	}
+}
+
+// sendAck posts the produce acknowledgement back to the producer over the
+// same QP (Figure 3): a small RDMA Send the client matches FIFO, since both
+// the writes and their processing are ordered.
+func (s *rdmaProducerSession) sendAck(resp *kwire.ProduceResp) {
+	if s.qp.State() != rdma.QPReady {
+		return
+	}
+	frame := kwire.Encode(0, resp)
+	// Posting can only fail if the QP died or the SQ is full; ack loss is
+	// equivalent to a connection failure, which clients detect via QP events.
+	_ = s.qp.PostSend(rdma.SendWR{Op: rdma.OpSend, Local: frame})
+}
+
+// replFollowerSession is the follower-side state of a push-replication link.
+type replFollowerSession struct {
+	b  *Broker
+	qp *rdma.QP
+	pt *Partition
+	// file is the follower-side replica file grant the leader writes into.
+	file *replicaFile
+}
+
+// replicaFile tracks the follower head segment registered for the leader.
+type replicaFile struct {
+	id    uint16
+	segID int
+	mr    *rdma.MR
+}
+
+// replAckSession is the leader-side state of a push-replication link; its
+// receives carry follower acknowledgements.
+type replAckSession struct {
+	b    *Broker
+	qp   *rdma.QP
+	link *followerLink
+	bufs [][]byte
+}
+
+// ackPayload is the fixed-size follower→leader acknowledgement.
+const ackPayloadSize = 12 // fileID u16 pad u16 leo u64... packed as u32+u64
+
+func encodeAck(fileID uint16, leo int64) []byte {
+	buf := make([]byte, ackPayloadSize)
+	binary.LittleEndian.PutUint32(buf, uint32(fileID))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(leo))
+	return buf
+}
+
+func decodeAck(buf []byte) (fileID uint16, leo int64) {
+	return uint16(binary.LittleEndian.Uint32(buf)), int64(binary.LittleEndian.Uint64(buf[4:]))
+}
+
+// osuSession is the broker half of an OSU-Kafka style two-sided RDMA
+// connection: requests and responses travel as RDMA Sends through dedicated
+// receive buffers, with the copies that entails [33].
+type osuSession struct {
+	b    *Broker
+	qp   *rdma.QP
+	bufs [][]byte
+}
+
+func (s *osuSession) send(frame []byte) {
+	if s.qp.State() != rdma.QPReady {
+		return
+	}
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	_ = s.qp.PostSend(rdma.SendWR{Op: rdma.OpSend, Local: cp})
+}
+
+// replWriteEvent is a push-replication WriteWithImm completion at a follower.
+type replWriteEvent struct {
+	sess *replFollowerSession
+	imm  uint32
+	size int
+}
+
+// sessionRegistry assigns ids so TCP control requests can name RDMA sessions.
+var _ = 0
+
+func (b *Broker) sessionByID(id uint32) *rdmaProducerSession {
+	return b.producerSessions[id]
+}
+
+// ConnectProducer establishes the QP pair for an RDMA producer client: the
+// broker side feeds the shared completion queue, the returned client-side QP
+// belongs to the caller's device. This models the connection-manager
+// exchange that real deployments run over TCP ("the response from the broker
+// contains the RDMA connection string", §4.2.2). The returned session id is
+// quoted in ProduceAccessReq.
+func (b *Broker) ConnectProducer(clientDev *rdma.Device) (*rdma.QP, uint32, error) {
+	brokerQP := b.dev.CreateQP(rdma.QPConfig{RecvCQ: b.rdmaCQ, SendDepth: 512})
+	b.nextSessionID++
+	sess := &rdmaProducerSession{b: b, id: b.nextSessionID, qp: brokerQP}
+	brokerQP.SetUserData(sess)
+	sess.bufs = make([][]byte, producerRecvDepth)
+	for i := 0; i < producerRecvDepth; i++ {
+		// Buffers carry Write+Send metadata frames; WriteWithImm leaves
+		// them untouched.
+		sess.bufs[i] = make([]byte, producerMetaBufSize)
+		if err := brokerQP.PostRecv(rdma.RQE{WRID: uint64(i), Buf: sess.bufs[i]}); err != nil {
+			return nil, 0, err
+		}
+	}
+	clientQP := clientDev.CreateQP(rdma.QPConfig{SendDepth: 512})
+	if err := rdma.Connect(brokerQP, clientQP); err != nil {
+		return nil, 0, err
+	}
+	b.producerSessions[sess.id] = sess
+	return clientQP, sess.id, nil
+}
+
+// ConnectConsumer establishes the QP pair for an RDMA consumer. Consumers
+// only issue one-sided Reads, so the broker side needs no receives — fetch
+// processing is fully offloaded to the RNIC (§4.4.2). The returned session
+// id is quoted in ConsumeAccessReq and owns the metadata slot region.
+func (b *Broker) ConnectConsumer(clientDev *rdma.Device) (*rdma.QP, uint32, error) {
+	brokerQP := b.dev.CreateQP(rdma.QPConfig{RecvCQ: b.rdmaCQ})
+	clientQP := clientDev.CreateQP(rdma.QPConfig{SendDepth: 64})
+	if err := rdma.Connect(brokerQP, clientQP); err != nil {
+		return nil, 0, err
+	}
+	b.nextSessionID++
+	id := b.nextSessionID
+	sess := &consumerSession{b: b, id: id}
+	brokerQP.SetUserData(sess)
+	b.consumerRDMASessions[id] = sess
+	return clientQP, id, nil
+}
+
+// ConnectOSU establishes an OSU-Kafka style two-sided RDMA connection. The
+// client sends request frames with RDMA Send and receives response frames
+// the same way; the broker provisions per-connection receive buffers.
+func (b *Broker) ConnectOSU(clientDev *rdma.Device) (*rdma.QP, error) {
+	brokerQP := b.dev.CreateQP(rdma.QPConfig{RecvCQ: b.rdmaCQ, SendDepth: 256})
+	sess := &osuSession{b: b, qp: brokerQP, bufs: make([][]byte, osuRecvDepth)}
+	brokerQP.SetUserData(sess)
+	for i := range sess.bufs {
+		sess.bufs[i] = make([]byte, osuBufSize)
+		if err := brokerQP.PostRecv(rdma.RQE{WRID: uint64(i), Buf: sess.bufs[i]}); err != nil {
+			return nil, err
+		}
+	}
+	clientQP := clientDev.CreateQP(rdma.QPConfig{SendDepth: 256})
+	if err := rdma.Connect(brokerQP, clientQP); err != nil {
+		return nil, err
+	}
+	return clientQP, nil
+}
+
+// rdmaPoller is one RDMA-module worker thread: it polls the shared
+// completion queue and enqueues the corresponding request (➋ in Figure 2).
+func (b *Broker) rdmaPoller(p *sim.Proc) {
+	for {
+		cqe := b.rdmaCQ.Poll(p)
+		p.Sleep(b.cfg.RDMACompletionCost)
+		if cqe.Status != rdma.StatusOK {
+			continue
+		}
+		switch sess := cqe.QP.UserData().(type) {
+		case *rdmaProducerSession:
+			// Keep the receive queue topped up, then turn the completion
+			// into a produce request, ordered by arrival. Two notification
+			// styles land here (§4.2.2): WriteWithImm carries everything in
+			// the immediate value; Write+Send delivers a metadata frame
+			// whose Write has, by in-order delivery, already landed.
+			ev := &rdmaProduceEvent{sess: sess, imm: cqe.Imm, size: cqe.ByteLen}
+			if !cqe.HasImm {
+				order, fileID, length, ok := DecodeWriteSendMeta(sess.bufs[cqe.WRID][:cqe.ByteLen])
+				if !ok {
+					_ = cqe.QP.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: sess.bufs[cqe.WRID]})
+					continue
+				}
+				ev.imm = EncodeImm(order, fileID)
+				ev.size = length
+			}
+			_ = cqe.QP.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: sess.bufs[cqe.WRID]})
+			req := &request{rdma: ev}
+			b.env.After(b.cfg.HandoffDelay, func() { b.reqQ.Push(req) })
+		case *replFollowerSession:
+			req := &request{repl: &replWriteEvent{sess: sess, imm: cqe.Imm, size: cqe.ByteLen}}
+			b.env.After(b.cfg.HandoffDelay, func() { b.reqQ.Push(req) })
+		case *replAckSession:
+			buf := sess.bufs[cqe.WRID]
+			fileID, leo := decodeAck(buf[:ackPayloadSize])
+			_ = cqe.QP.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: buf})
+			sess.link.onAck(fileID, leo)
+		case *osuSession:
+			p.Sleep(b.cfg.OSURecvCost)
+			frame := make([]byte, cqe.ByteLen)
+			copy(frame, sess.bufs[cqe.WRID][:cqe.ByteLen])
+			_ = cqe.QP.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: sess.bufs[cqe.WRID]})
+			corr, msg, err := kwire.Decode(frame)
+			if err != nil {
+				continue
+			}
+			req := &request{osu: sess, corr: corr, msg: msg}
+			b.env.After(b.cfg.HandoffDelay, func() { b.reqQ.Push(req) })
+		}
+	}
+}

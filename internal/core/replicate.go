@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kafkadirect/internal/krecord"
+	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/rdma"
+	"kafkadirect/internal/sim"
+)
+
+// This file implements both replication datapaths of §4.3:
+//
+//   - TCP pull replication (§4.3.1): each follower runs a fetcher thread per
+//     partition that long-polls the leader with replica fetch requests; the
+//     offset in each fetch doubles as the follower's replication ack.
+//   - RDMA push replication (§4.3.2): the leader holds a WriteWithImm grant
+//     on each follower's replica file and pushes committed batches
+//     immediately, with credit-based flow control and opportunistic batching
+//     of contiguous writes.
+
+// controlRTT approximates the TCP round trip of rare control-plane
+// operations on the replication path (requesting a new replica file grant
+// after a segment roll).
+const controlRTT = 150 * time.Microsecond
+
+// notifyReplication wakes the push-replication links of a partition, if any.
+// The pull path needs no notification: followers long-poll and the leader's
+// fetch purgatory wakes them on append.
+func (b *Broker) notifyReplication(pt *Partition) {
+	if pt.pushRepl == nil {
+		return
+	}
+	for _, link := range pt.pushRepl.links {
+		link.cond.Broadcast()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TCP pull replication (follower side)
+// ---------------------------------------------------------------------------
+
+// startPullFetcher launches the follower's replica fetcher thread for one
+// partition ("dedicated worker threads that are responsible for keeping
+// local TP copies in-sync with the leader", §4.3.1).
+func (b *Broker) startPullFetcher(pt *Partition, leader *Broker) {
+	b.env.Go(fmt.Sprintf("%s/fetcher/%s", b.id, pt.key()), func(p *sim.Proc) {
+		conn, err := b.host.Dial(p, leader.host, TCPPort)
+		if err != nil {
+			panic("core: replica fetcher dial: " + err.Error())
+		}
+		var corr uint32
+		for {
+			corr++
+			req := &kwire.FetchReq{
+				Topic:         pt.topic,
+				Partition:     pt.index,
+				Offset:        pt.log.NextOffset(),
+				MaxBytes:      int32(b.cfg.ReplicaMaxBytes),
+				MaxWaitMicros: int64(b.cfg.ReplicaFetchWait / time.Microsecond),
+				ReplicaID:     b.cluster.brokerIndex(b.id),
+			}
+			if err := conn.Send(p, kwire.Encode(corr, req)); err != nil {
+				return
+			}
+			raw, err := conn.Recv(p)
+			if err != nil {
+				return
+			}
+			_, msg, err := kwire.Decode(raw)
+			if err != nil {
+				continue
+			}
+			resp, ok := msg.(*kwire.FetchResp)
+			if !ok || resp.Err != kwire.ErrNone {
+				continue
+			}
+			if len(resp.Data) == 0 {
+				continue
+			}
+			pt.acquire(p)
+			// The follower validates and appends: this is where the two
+			// receive-side copies of the TCP path land (§5.2).
+			p.Sleep(b.crcTime(len(resp.Data)) + b.copyTime(len(resp.Data)))
+			if _, err := krecord.Scan(resp.Data, func(batch krecord.Batch) error {
+				return pt.log.AppendReplicated(batch.Raw())
+			}); err != nil {
+				pt.release()
+				return
+			}
+			pt.advanceHW(resp.HighWatermark)
+			pt.release()
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// RDMA push replication (leader side)
+// ---------------------------------------------------------------------------
+
+// pushReplicator is a partition's leader-side push module (§4.3.2).
+type pushReplicator struct {
+	b     *Broker
+	pt    *Partition
+	links []*followerLink
+}
+
+// followerLink is the leader's state for one follower.
+type followerLink struct {
+	repl     *pushReplicator
+	follower *Broker
+	qp       *rdma.QP // leader-side QP; acks arrive on its recv CQ
+	sess     *replFollowerSession
+
+	credits  int
+	ackedLEO int64
+	cond     sim.Cond
+
+	// push progress through the leader's log, in (segment, byte) space.
+	segID int
+	pos   int
+
+	// follower-side grant coordinates.
+	fileID   uint16
+	addr     uint64
+	rkey     uint32
+	capacity int
+	// base is the leader-segment position corresponding to the start of the
+	// follower file (both are zero on a fresh pair of heads).
+	base int
+
+	statWrites  uint64
+	statBatches uint64
+	statBytes   uint64
+}
+
+// newPushReplicator wires QP pairs and initial replica-file grants to every
+// follower and starts one replication worker per link.
+func newPushReplicator(b *Broker, pt *Partition) *pushReplicator {
+	pr := &pushReplicator{b: b, pt: pt}
+	for _, id := range pt.replicas {
+		if id == b.id {
+			continue
+		}
+		follower := b.cluster.broker(id)
+		link := &followerLink{
+			repl:     pr,
+			follower: follower,
+			credits:  b.cfg.PushCredits,
+			segID:    pt.log.Head().ID(),
+			pos:      pt.log.Head().Len(),
+		}
+		// Leader-side QP: follower acks land on the leader's shared CQ.
+		leaderQP := b.dev.CreateQP(rdma.QPConfig{RecvCQ: b.rdmaCQ, SendDepth: 2 * b.cfg.PushCredits})
+		ack := &replAckSession{b: b, qp: leaderQP, link: link}
+		leaderQP.SetUserData(ack)
+		ack.bufs = make([][]byte, 2*b.cfg.PushCredits)
+		for i := range ack.bufs {
+			ack.bufs[i] = make([]byte, ackPayloadSize)
+			if err := leaderQP.PostRecv(rdma.RQE{WRID: uint64(i), Buf: ack.bufs[i]}); err != nil {
+				panic("core: push link recv: " + err.Error())
+			}
+		}
+		// Follower-side QP: WriteWithImm completions land on the follower's
+		// shared CQ, exactly like RDMA produces.
+		fpt := follower.Partition(pt.topic, pt.index)
+		sess := &replFollowerSession{b: follower, qp: nil, pt: fpt}
+		followerQP := follower.dev.CreateQP(rdma.QPConfig{RecvCQ: follower.rdmaCQ, SendDepth: 2 * b.cfg.PushCredits})
+		sess.qp = followerQP
+		followerQP.SetUserData(sess)
+		// The follower posts exactly its advertised credits: a leader that
+		// overruns them would kill the QP (§4.3.2).
+		for i := 0; i < b.cfg.PushCredits; i++ {
+			if err := followerQP.PostRecv(rdma.RQE{}); err != nil {
+				panic("core: follower credit recv: " + err.Error())
+			}
+		}
+		if err := rdma.Connect(leaderQP, followerQP); err != nil {
+			panic("core: push link connect: " + err.Error())
+		}
+		link.qp = leaderQP
+		link.sess = sess
+		pr.links = append(pr.links, link)
+		b.env.Go(fmt.Sprintf("%s/push/%s/%s", b.id, pt.key(), id), link.run)
+	}
+	return pr
+}
+
+// onAck processes a follower acknowledgement (invoked from the leader's
+// RDMA poller): return a credit, record replication progress, advance the
+// high watermark, and wake the link worker.
+func (l *followerLink) onAck(fileID uint16, leo int64) {
+	l.credits++
+	if leo > l.ackedLEO {
+		l.ackedLEO = leo
+	}
+	l.repl.pt.recordFollowerLEO(l.follower.id, leo)
+	l.cond.Broadcast()
+}
+
+// grantReplicaFile (re)acquires the follower-side replica file. It models
+// the "get RDMA produce address" control request of §4.3.2 with an
+// in-process grant plus a TCP round trip of latency. On a re-grant the
+// follower seals its head and rolls, mirroring the leader's roll.
+func (l *followerLink) grantReplicaFile(p *sim.Proc, roll bool) {
+	p.Sleep(controlRTT)
+	fpt := l.sess.pt
+	fpt.acquire(p)
+	if roll {
+		fpt.sealHead()
+	}
+	head := fpt.log.Head()
+	mr, err := fpt.segWriteMR(head)
+	if err != nil {
+		fpt.release()
+		panic("core: replica grant: " + err.Error())
+	}
+	// Replica grants are routed by QP session at the follower, so the dense
+	// segment id doubles as the file id in the immediate data.
+	rf := &replicaFile{id: uint16(head.ID()), segID: head.ID(), mr: mr}
+	l.sess.file = rf
+	fpt.release()
+
+	l.fileID = rf.id
+	l.addr = mr.Addr()
+	l.rkey = mr.RKey()
+	l.capacity = head.Capacity()
+}
+
+// run is the per-follower replication worker: it waits for committed leader
+// bytes, batches contiguous writes opportunistically up to PushMaxBatch
+// (§4.3.2 "Batching of RDMA Writes"), and pushes them with WriteWithImm.
+func (l *followerLink) run(p *sim.Proc) {
+	pt := l.repl.pt
+	l.grantReplicaFile(p, false)
+	for {
+		seg := pt.log.Segment(l.segID)
+		if l.pos == seg.Len() {
+			if seg.Sealed() {
+				// The leader rolled. Wait for the follower to drain, then
+				// re-grant on the next file.
+				segEnd := segEndOffset(pt, l.segID)
+				for l.ackedLEO < segEnd {
+					l.cond.Wait(p)
+				}
+				l.segID++
+				l.pos = 0
+				l.base = 0
+				l.grantReplicaFile(p, true)
+				continue
+			}
+			l.cond.Wait(p)
+			continue
+		}
+		if l.credits == 0 {
+			l.cond.Wait(p)
+			continue
+		}
+		start, end := l.pos, l.batchEnd(seg)
+		imm := EncodeImm(0, l.fileID)
+		err := l.qp.PostSend(rdma.SendWR{
+			Op:         rdma.OpWriteImm,
+			Local:      seg.Bytes()[start:end],
+			RemoteAddr: l.addr + uint64(start-l.base),
+			RKey:       l.rkey,
+			Imm:        imm,
+			Unsignaled: true,
+		})
+		if err != nil {
+			return // link is dead; a real broker would re-establish it
+		}
+		l.credits--
+		l.pos = end
+		l.statWrites++
+		l.statBytes += uint64(end - start)
+	}
+}
+
+// batchEnd walks the leader segment's batch boundaries from the current
+// push position, merging contiguous batches up to the configured limit. At
+// least one batch is always sent whole.
+func (l *followerLink) batchEnd(seg interface {
+	Bytes() []byte
+	Len() int
+}) int {
+	max := l.repl.b.cfg.PushMaxBatch
+	pos := l.pos
+	end := pos
+	buf := seg.Bytes()
+	for end < seg.Len() {
+		size, ok := krecord.PeekSize(buf[end:])
+		if !ok {
+			break
+		}
+		if end+size-pos > max && end > pos {
+			break
+		}
+		end += size
+		l.statBatches++
+		if end-pos >= max {
+			break
+		}
+	}
+	if end == pos {
+		// A single batch larger than the limit goes alone.
+		if size, ok := krecord.PeekSize(buf[pos:]); ok {
+			end = pos + size
+		}
+	}
+	return end
+}
+
+func segEndOffset(pt *Partition, segID int) int64 {
+	next := pt.log.Segment(segID + 1)
+	if next != nil {
+		return next.BaseOffset()
+	}
+	return pt.log.NextOffset()
+}
+
+// handleReplicaWrite processes a push-replicated blob at the follower: the
+// bytes are already in the replica file (written by the leader's RNIC), so
+// the follower validates, commits each contained batch in place, reposts the
+// credit receive, and acks its new log end to the leader.
+func (b *Broker) handleReplicaWrite(p *sim.Proc, req *request) {
+	ev := req.repl
+	pt := ev.sess.pt
+	pt.acquire(p)
+	p.Sleep(b.cfg.APIFixedCost + b.cfg.ReplicaWriteExtra + b.crcTime(ev.size))
+	head := pt.log.Head()
+	start := head.Len()
+	blob := head.Bytes()[start : start+ev.size]
+	consumed := 0
+	for consumed < ev.size {
+		size, ok := krecord.PeekSize(blob[consumed:])
+		if !ok || consumed+size > ev.size {
+			break // torn write; the reliable transport makes this fatal
+		}
+		if err := pt.log.CommitReplicatedInPlace(size); err != nil {
+			break
+		}
+		consumed += size
+	}
+	leo := pt.log.NextOffset()
+	pt.release()
+	// Return the credit, then ack.
+	_ = ev.sess.qp.PostRecv(rdma.RQE{})
+	_ = ev.sess.qp.PostSend(rdma.SendWR{Op: rdma.OpSend, Local: encodeAck(ev.sess.file.id, leo)})
+}

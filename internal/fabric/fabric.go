@@ -1,0 +1,153 @@
+// Package fabric models the cluster network: a non-blocking switch fabric
+// connecting nodes, each with a full-duplex NIC port of configurable
+// bandwidth. It corresponds to the paper's 12-node 56 Gbit/s InfiniBand
+// cluster (§5, "Settings"): usable link bandwidth ~6 GiB/s and a 2 KiB packet
+// size (§4.3.2).
+//
+// The model is deliberately simple but captures the effects the paper's
+// evaluation depends on:
+//
+//   - serialisation delay: a message occupies the sender's egress port for
+//     size/bandwidth, so goodput saturates at link rate;
+//   - receive-side contention: the receiver's ingress port is also paced, so
+//     incast (many producers, one broker) bottlenecks correctly;
+//   - propagation plus one store-and-forward hop of latency;
+//   - per-flow in-order delivery, which the RDMA RC transport and the
+//     KafkaDirect ordering protocol (§4.2.2) rely on.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"kafkadirect/internal/sim"
+)
+
+// Config holds fabric-wide parameters.
+type Config struct {
+	// Bandwidth is the per-port link bandwidth in bytes per second.
+	// The paper's network sustains about 6 GiB/s of goodput.
+	Bandwidth float64
+	// PropDelay is the one-way propagation (plus switch) delay.
+	PropDelay time.Duration
+	// PacketSize is the network MTU; messages shorter than MinFrame are
+	// padded to MinFrame on the wire.
+	PacketSize int
+	// MinFrame is the smallest on-wire frame (headers dominate tiny sends).
+	MinFrame int
+}
+
+// DefaultConfig mirrors the paper's testbed: 56 Gbit/s ConnectX-4 (≈6 GiB/s
+// goodput), ~0.6 µs one-way delay (a 1.5 µs WriteWithImm round trip once NIC
+// processing is added, Fig. 7), 2 KiB packets.
+func DefaultConfig() Config {
+	return Config{
+		Bandwidth:  6 << 30, // 6 GiB/s
+		PropDelay:  600 * time.Nanosecond,
+		PacketSize: 2048,
+		MinFrame:   64,
+	}
+}
+
+// Network is the switch fabric. All nodes hang off one Network.
+type Network struct {
+	env  *sim.Env
+	cfg  Config
+	node map[string]*Node
+}
+
+// New creates a fabric on the given simulation environment.
+func New(env *sim.Env, cfg Config) *Network {
+	if cfg.Bandwidth <= 0 {
+		panic("fabric: bandwidth must be positive")
+	}
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = 2048
+	}
+	if cfg.MinFrame <= 0 {
+		cfg.MinFrame = 64
+	}
+	return &Network{env: env, cfg: cfg, node: make(map[string]*Node)}
+}
+
+// Env returns the simulation environment the fabric runs on.
+func (n *Network) Env() *sim.Env { return n.env }
+
+// Config returns the fabric configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Node is a machine attached to the fabric through one full-duplex port.
+type Node struct {
+	name string
+	net  *Network
+	tx   sim.Pacer // egress port occupancy
+	rx   sim.Pacer // ingress port occupancy
+
+	txBytes uint64
+	rxBytes uint64
+}
+
+// NewNode registers a node with a unique name.
+func (n *Network) NewNode(name string) *Node {
+	if _, dup := n.node[name]; dup {
+		panic(fmt.Sprintf("fabric: duplicate node %q", name))
+	}
+	nd := &Node{name: name, net: n}
+	n.node[name] = nd
+	return nd
+}
+
+// Lookup returns the node registered under name, or nil.
+func (n *Network) Lookup(name string) *Node { return n.node[name] }
+
+// Name returns the node's name.
+func (nd *Node) Name() string { return nd.name }
+
+// Network returns the fabric the node is attached to.
+func (nd *Node) Network() *Network { return nd.net }
+
+// TxBytes and RxBytes report cumulative traffic counters (diagnostics).
+func (nd *Node) TxBytes() uint64 { return nd.txBytes }
+func (nd *Node) RxBytes() uint64 { return nd.rxBytes }
+
+// serTime returns the serialisation delay of a message of the given size.
+func (n *Network) serTime(bytes int) time.Duration {
+	if bytes < n.cfg.MinFrame {
+		bytes = n.cfg.MinFrame
+	}
+	return time.Duration(float64(bytes) / n.cfg.Bandwidth * 1e9)
+}
+
+// Deliver transmits size bytes from one node to another and runs onArrive (in
+// scheduler context; it must not block, typically it pushes into a queue) at
+// the delivery time, which is also returned. Successive Deliver calls for the
+// same (from, to) pair arrive in call order.
+//
+// Loopback (from == to) skips the wire entirely: the paper's brokers issue
+// RDMA atomics "to themselves" (§4.2.2), which still pay NIC processing (the
+// caller models that) but no link time.
+func (n *Network) Deliver(from, to *Node, size int, onArrive func()) time.Duration {
+	now := n.env.Now()
+	from.txBytes += uint64(size)
+	to.rxBytes += uint64(size)
+	if from == to {
+		at := now
+		n.env.At(at, onArrive)
+		return at
+	}
+	ser := n.serTime(size)
+	txEnd := from.tx.Reserve(now, ser)
+	// The receive port is busy for the serialisation time as well; the
+	// earliest the message can finish arriving is one propagation delay
+	// after it finished leaving (store-and-forward at message granularity).
+	rxStart := txEnd + n.cfg.PropDelay - ser
+	arrive := to.rx.Reserve(rxStart, ser)
+	n.env.At(arrive, onArrive)
+	return arrive
+}
+
+// DeliverProc is Deliver for callers inside a process that simply want to
+// know the arrival time without a callback.
+func (n *Network) DeliverTime(from, to *Node, size int) time.Duration {
+	return n.Deliver(from, to, size, func() {})
+}

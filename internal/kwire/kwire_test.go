@@ -1,0 +1,145 @@
+package kwire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip encodes and decodes a message, asserting equality.
+func roundTrip(t *testing.T, corr uint32, m Message) Message {
+	t.Helper()
+	buf := Encode(corr, m)
+	gotCorr, got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", m, err)
+	}
+	if gotCorr != corr {
+		t.Fatalf("corr %d, want %d", gotCorr, corr)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n sent %#v\n got  %#v", m, got)
+	}
+	return got
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Message{
+		&ProduceReq{Topic: "events", Partition: 3, Acks: -1, Batch: []byte{1, 2, 3}},
+		&ProduceResp{Err: ErrInvalidRecord, BaseOffset: 12345},
+		&FetchReq{Topic: "t", Partition: 0, Offset: 99, MaxBytes: 4096, MaxWaitMicros: 500, ReplicaID: -1},
+		&FetchResp{Err: ErrNone, HighWatermark: 7, LogEndOffset: 9, Data: bytes.Repeat([]byte{0xaa}, 100)},
+		&MetadataReq{Topics: []string{"a", "b"}},
+		&MetadataResp{Topics: []TopicMeta{
+			{Name: "a", Err: ErrNone, Partitions: []PartitionMeta{
+				{Partition: 0, Leader: "broker-1", Replicas: []string{"broker-1", "broker-2"}},
+				{Partition: 1, Leader: "broker-2", Replicas: []string{"broker-2"}},
+			}},
+			{Name: "missing", Err: ErrUnknownTopic},
+		}},
+		&CreateTopicReq{Topic: "new", Partitions: 8, ReplicationFactor: 3},
+		&CreateTopicResp{Err: ErrTopicExists},
+		&ProduceAccessReq{Topic: "t", Partition: 1, Mode: AccessShared, Session: 99},
+		&ProduceAccessResp{Err: ErrNone, FileID: 42, Addr: 0xdead0000, RKey: 17, FileLen: 1 << 30, WritePos: 4096, AtomicAddr: 0xbeef0000, AtomicRKey: 18},
+		&ConsumeAccessReq{Topic: "t", Partition: 2, Offset: 1000, Session: 7},
+		&ConsumeAccessResp{Err: ErrNone, FileID: 2, Addr: 0xcafe0000, RKey: 5, StartPos: 128, LastReadable: 8192, Mutable: true, SlotRegionAddr: 0xf00d0000, SlotRegionRKey: 6, SlotIndex: 3},
+		&ReleaseFileReq{Topic: "t", Partition: 0, FileID: 1, Session: 7},
+		&ReleaseFileResp{Err: ErrNone},
+		&OffsetCommitReq{Group: "g", Topic: "t", Partition: 4, Offset: 777},
+		&OffsetCommitResp{Err: ErrNone},
+		&OffsetFetchReq{Group: "g", Topic: "t", Partition: 4},
+		&OffsetFetchResp{Err: ErrNone, Offset: -1},
+	}
+	for i, m := range msgs {
+		roundTrip(t, uint32(i*13+1), m)
+	}
+}
+
+func TestEmptyCollectionsSurvive(t *testing.T) {
+	buf := Encode(1, &MetadataReq{})
+	_, got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.(*MetadataReq).Topics) != 0 {
+		t.Fatal("empty topics list mangled")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err != ErrTruncated {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, _, err := Decode([]byte{0xff, 0, 0, 0, 0}); err != ErrUnknownKind {
+		t.Fatalf("unknown kind: %v", err)
+	}
+	full := Encode(9, &ProduceReq{Topic: "topic", Batch: []byte("data")})
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestErrCodeStringsAndErr(t *testing.T) {
+	if ErrNone.Err() != nil {
+		t.Fatal("ErrNone should map to nil error")
+	}
+	if ErrNotLeader.Err() == nil {
+		t.Fatal("non-OK code should map to an error")
+	}
+	for c := ErrNone; c <= ErrInternal; c++ {
+		if c.String() == "" {
+			t.Fatalf("no string for code %d", c)
+		}
+	}
+	if AccessExclusive.String() != "exclusive" || AccessShared.String() != "shared" {
+		t.Fatal("AccessMode strings")
+	}
+}
+
+func TestBatchBytesAreCopiedOnDecode(t *testing.T) {
+	buf := Encode(1, &ProduceReq{Topic: "t", Batch: []byte("payload")})
+	_, m, _ := Decode(buf)
+	req := m.(*ProduceReq)
+	buf[len(buf)-1] ^= 0xff // clobber the wire buffer
+	if string(req.Batch) != "payload" {
+		t.Fatal("decoded message aliases the wire buffer")
+	}
+}
+
+func TestPropertyProduceReqRoundTrip(t *testing.T) {
+	property := func(topic string, partition int32, acks int8, batch []byte, corr uint32) bool {
+		if len(topic) > 60000 {
+			topic = topic[:60000]
+		}
+		m := &ProduceReq{Topic: topic, Partition: partition, Acks: acks, Batch: batch}
+		buf := Encode(corr, m)
+		gotCorr, got, err := Decode(buf)
+		if err != nil || gotCorr != corr {
+			return false
+		}
+		g := got.(*ProduceReq)
+		if g.Topic != topic || g.Partition != partition || g.Acks != acks {
+			return false
+		}
+		if len(batch) == 0 {
+			return len(g.Batch) == 0
+		}
+		return bytes.Equal(g.Batch, batch)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	property := func(data []byte) bool {
+		_, _, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,692 @@
+// Package rdma is a verbs-level simulator of an RDMA-capable network
+// controller (RNIC) and the InfiniBand reliably-connected (RC) transport,
+// sufficient to host every datapath KafkaDirect uses (§2, §4):
+//
+//   - memory regions (MRs) registered with remote keys and access flags;
+//   - RC queue pairs with send/receive queues and completion queues;
+//   - work requests: Send, Write, WriteWithImm (32-bit immediate data
+//     delivered in the responder's completion), Read, Compare-and-Swap and
+//     Fetch-and-Add on 8-byte remote words;
+//   - reliable, in-order delivery per QP — the property the exclusive
+//     produce protocol's ordering argument rests on (§4.2.2);
+//   - receive-queue consumption by Send and WriteWithImm, so a flooded
+//     responder (no credits) transitions the QP to the error state and both
+//     sides observe a disconnect, as the paper's replication credit scheme
+//     guards against (§4.3.2);
+//   - asynchronous QP error/disconnect events for failure detection
+//     (§4.2.2 "Client failure can be detected from QP disconnection events").
+//
+// Remote operations move real bytes between registered Go byte slices: an
+// RDMA Write literally copies the requester's buffer into the responder's
+// registered region without any intermediate buffer or responder CPU
+// involvement, preserving the zero-copy structure of the real system.
+//
+// Timing model (calibrated to constants the paper reports; see DESIGN.md §4):
+// each work request occupies the requester RNIC for ReqOverhead, the wire for
+// its serialisation time, and the responder RNIC for RespOverhead; atomics
+// additionally serialise on a per-address atomic unit with a fixed service
+// time, reproducing the 2.68 Mops/s per-counter limit of §4.2.2.
+package rdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"kafkadirect/internal/fabric"
+	"kafkadirect/internal/sim"
+)
+
+// Costs collects the RNIC timing parameters.
+type Costs struct {
+	// ReqOverhead is requester-side per-work-request processing time.
+	ReqOverhead time.Duration
+	// RespOverhead is responder-side per-request processing time.
+	RespOverhead time.Duration
+	// AtomicService is the per-operation service time of the responder's
+	// atomic execution unit (serialised per 8-byte address).
+	AtomicService time.Duration
+	// HeaderBytes is per-message transport header overhead on the wire.
+	HeaderBytes int
+	// AckBytes is the size of acknowledgement/response frames.
+	AckBytes int
+}
+
+// DefaultCosts calibrates the model to the paper's microbenchmarks: 1.5 µs
+// WriteWithImm round trips, ~2.4 GiB/s small-message goodput (Fig. 7),
+// 2.68 Mops/s atomics (§4.2.2), ~8.3 M offloaded metadata reads/s (§5.3).
+func DefaultCosts() Costs {
+	return Costs{
+		ReqOverhead:   200 * time.Nanosecond,
+		RespOverhead:  120 * time.Nanosecond,
+		AtomicService: 373 * time.Nanosecond, // 1 / 2.68 Mops
+		HeaderBytes:   48,
+		AckBytes:      16,
+	}
+}
+
+// Opcode identifies a work-request or completion type.
+type Opcode uint8
+
+// Work request opcodes.
+const (
+	OpSend Opcode = iota
+	OpWrite
+	OpWriteImm
+	OpRead
+	OpCompSwap
+	OpFetchAdd
+	OpRecv // completion-only: a consumed receive
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpWrite:
+		return "WRITE"
+	case OpWriteImm:
+		return "WRITE_WITH_IMM"
+	case OpRead:
+		return "READ"
+	case OpCompSwap:
+		return "CMP_SWAP"
+	case OpFetchAdd:
+		return "FETCH_ADD"
+	case OpRecv:
+		return "RECV"
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(o))
+}
+
+// Status is a completion status.
+type Status uint8
+
+// Completion statuses.
+const (
+	StatusOK Status = iota
+	StatusRemoteAccessErr
+	StatusFlushed // QP transitioned to error before the WR executed
+	StatusRNR     // responder had no receive posted (receiver not ready)
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusRemoteAccessErr:
+		return "REMOTE_ACCESS_ERROR"
+	case StatusFlushed:
+		return "FLUSHED"
+	case StatusRNR:
+		return "RNR"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Access flags for memory registration.
+type Access uint8
+
+// Access flag bits.
+const (
+	AccessLocal Access = 1 << iota
+	AccessRemoteRead
+	AccessRemoteWrite
+	AccessRemoteAtomic
+)
+
+// Errors returned by posting and registration.
+var (
+	ErrQPState   = errors.New("rdma: queue pair not in ready state")
+	ErrSQFull    = errors.New("rdma: send queue full")
+	ErrBadLength = errors.New("rdma: zero-length registration")
+)
+
+// Device is an RNIC attached to a fabric node. Each simulated machine owns
+// one Device.
+type Device struct {
+	env   *sim.Env
+	node  *fabric.Node
+	costs Costs
+
+	engine sim.Pacer // requester-side WR processing engine
+	resp   sim.Pacer // responder-side processing engine
+
+	nextVA   uint64
+	nextKey  uint32
+	nextQPN  uint32
+	mrs      map[uint32]*MR        // rkey -> MR
+	atomics  map[uint64]*sim.Pacer // 8-byte-aligned VA -> atomic unit
+	asyncCBs []func(AsyncEvent)
+
+	// registeredBytes tracks live MR memory: RDMA requires registered
+	// buffers to stay resident, which is KafkaDirect's main cost (§7
+	// "Memory usage"). Deregistration (e.g. after a consumer releases a
+	// fully-read file) reduces it.
+	registeredBytes uint64
+}
+
+// AsyncEvent notifies about QP state changes (disconnects, fatal errors).
+type AsyncEvent struct {
+	QP     *QP
+	Reason string
+}
+
+// NewDevice opens a simulated RNIC on the given node.
+func NewDevice(node *fabric.Node, costs Costs) *Device {
+	return &Device{
+		env:     node.Network().Env(),
+		node:    node,
+		costs:   costs,
+		nextVA:  0x10000, // an arbitrary non-zero base, like a real VA space
+		mrs:     make(map[uint32]*MR),
+		atomics: make(map[uint64]*sim.Pacer),
+	}
+}
+
+// Node returns the fabric node the device is attached to.
+func (d *Device) Node() *fabric.Node { return d.node }
+
+// Env returns the simulation environment.
+func (d *Device) Env() *sim.Env { return d.env }
+
+// OnAsyncEvent registers a callback invoked (in scheduler context) whenever a
+// QP on this device transitions to the error state.
+func (d *Device) OnAsyncEvent(fn func(AsyncEvent)) { d.asyncCBs = append(d.asyncCBs, fn) }
+
+func (d *Device) emitAsync(ev AsyncEvent) {
+	for _, fn := range d.asyncCBs {
+		fn(ev)
+	}
+}
+
+// PD is a protection domain.
+type PD struct {
+	dev *Device
+}
+
+// AllocPD allocates a protection domain.
+func (d *Device) AllocPD() *PD { return &PD{dev: d} }
+
+// Device returns the owning device.
+func (pd *PD) Device() *Device { return pd.dev }
+
+// MR is a registered memory region. The registered buffer is a live Go slice:
+// remote writes mutate it, remote reads observe it.
+type MR struct {
+	pd     *PD
+	buf    []byte
+	addr   uint64
+	rkey   uint32
+	access Access
+	valid  bool
+}
+
+// RegisterMR registers buf for the given access and returns the MR. This is
+// the moral equivalent of mmap + ibv_reg_mr in the paper's produce datapath
+// ("Getting RDMA access", §4.2.2).
+func (pd *PD) RegisterMR(buf []byte, access Access) (*MR, error) {
+	if len(buf) == 0 {
+		return nil, ErrBadLength
+	}
+	d := pd.dev
+	d.nextKey++
+	mr := &MR{
+		pd:     pd,
+		buf:    buf,
+		addr:   d.nextVA,
+		rkey:   d.nextKey,
+		access: access,
+		valid:  true,
+	}
+	// Keep VA ranges disjoint and 4 KiB aligned, like a real allocator.
+	d.nextVA += (uint64(len(buf)) + 0xfff) &^ 0xfff
+	d.mrs[mr.rkey] = mr
+	d.registeredBytes += uint64(len(buf))
+	return mr, nil
+}
+
+// RegisteredBytes reports the memory currently pinned by registrations —
+// the §7 "Memory usage" cost of the RDMA design.
+func (d *Device) RegisteredBytes() uint64 { return d.registeredBytes }
+
+// Deregister invalidates the MR; subsequent remote accesses fail. Consumers
+// ask brokers to deregister fully-read files to cap memory usage (§4.4.2).
+func (mr *MR) Deregister() {
+	if !mr.valid {
+		return
+	}
+	mr.valid = false
+	delete(mr.pd.dev.mrs, mr.rkey)
+	mr.pd.dev.registeredBytes -= uint64(len(mr.buf))
+}
+
+// Addr returns the region's (simulated) virtual address.
+func (mr *MR) Addr() uint64 { return mr.addr }
+
+// RKey returns the remote key.
+func (mr *MR) RKey() uint32 { return mr.rkey }
+
+// Len returns the registered length.
+func (mr *MR) Len() int { return len(mr.buf) }
+
+// Bytes exposes the registered buffer (local access).
+func (mr *MR) Bytes() []byte { return mr.buf }
+
+// resolve maps (rkey, addr, length) to a sub-slice of a registered region,
+// checking bounds and access rights.
+func (d *Device) resolve(rkey uint32, addr uint64, length int, need Access) ([]byte, Status) {
+	mr, ok := d.mrs[rkey]
+	if !ok || !mr.valid {
+		return nil, StatusRemoteAccessErr
+	}
+	if mr.access&need == 0 {
+		return nil, StatusRemoteAccessErr
+	}
+	if addr < mr.addr || addr+uint64(length) > mr.addr+uint64(len(mr.buf)) {
+		return nil, StatusRemoteAccessErr
+	}
+	off := addr - mr.addr
+	return mr.buf[off : off+uint64(length)], StatusOK
+}
+
+func (d *Device) atomicUnit(addr uint64) *sim.Pacer {
+	u, ok := d.atomics[addr]
+	if !ok {
+		u = &sim.Pacer{}
+		d.atomics[addr] = u
+	}
+	return u
+}
+
+// CQE is a completion queue entry.
+type CQE struct {
+	QP      *QP
+	WRID    uint64
+	Op      Opcode
+	Status  Status
+	ByteLen int
+	// Imm holds the 32-bit immediate data for OpRecv completions generated
+	// by WriteWithImm or by Send (if the sender attached immediate data).
+	Imm    uint32
+	HasImm bool
+	// Old is the pre-operation value for atomic completions.
+	Old uint64
+}
+
+// CQ is a completion queue. Capacity 0 means unbounded. If a bounded CQ
+// overflows, every QP bound to it transitions to the error state — this is
+// the failure mode the push-replication credit scheme prevents (§4.3.2).
+type CQ struct {
+	dev      *Device
+	q        *sim.Queue[CQE]
+	capacity int
+	overrun  bool
+	bound    []*QP
+}
+
+// CreateCQ creates a completion queue with the given capacity (0 = unbounded).
+func (d *Device) CreateCQ(capacity int) *CQ {
+	return &CQ{dev: d, q: sim.NewQueue[CQE](), capacity: capacity}
+}
+
+// Poll blocks the calling process until a completion is available.
+func (c *CQ) Poll(p *sim.Proc) CQE { return c.q.Pop(p) }
+
+// PollTimeout is Poll with a timeout.
+func (c *CQ) PollTimeout(p *sim.Proc, d time.Duration) (CQE, bool) { return c.q.PopTimeout(p, d) }
+
+// TryPoll returns a completion if one is immediately available.
+func (c *CQ) TryPoll() (CQE, bool) { return c.q.TryPop() }
+
+// Len reports queued completions.
+func (c *CQ) Len() int { return c.q.Len() }
+
+// Overrun reports whether the CQ has overflowed.
+func (c *CQ) Overrun() bool { return c.overrun }
+
+func (c *CQ) push(e CQE) {
+	if c.capacity > 0 && c.q.Len() >= c.capacity {
+		if !c.overrun {
+			c.overrun = true
+			for _, qp := range c.bound {
+				qp.fail("completion queue overrun")
+			}
+		}
+		return
+	}
+	c.q.Push(e)
+}
+
+// RQE is a posted receive: a buffer for an incoming Send plus the WR id
+// reported in its completion.
+type RQE struct {
+	WRID uint64
+	Buf  []byte
+}
+
+// SendWR is a work request posted to a QP's send queue.
+type SendWR struct {
+	WRID uint64
+	Op   Opcode
+	// Local is the data source (Send/Write/WriteImm) or destination (Read).
+	// For atomics it must be at least 8 bytes and receives the old value.
+	Local []byte
+	// RemoteAddr and RKey name the target region for one-sided operations.
+	RemoteAddr uint64
+	RKey       uint32
+	// Imm is the immediate data for WriteImm (and optionally Send).
+	Imm    uint32
+	HasImm bool
+	// Compare is the compare operand (CAS); Add is the add operand (FAA).
+	Compare uint64
+	Swap    uint64
+	Add     uint64
+	// Unsignaled suppresses the requester completion.
+	Unsignaled bool
+}
+
+// QPState is the queue pair state.
+type QPState uint8
+
+// QP states (a deliberately reduced INIT→RTS→ERR lifecycle).
+const (
+	QPInit QPState = iota
+	QPReady
+	QPError
+)
+
+// QP is a reliably-connected queue pair.
+type QP struct {
+	dev     *Device
+	num     uint32
+	state   QPState
+	remote  *QP
+	sendCQ  *CQ
+	recvCQ  *CQ
+	sqDepth int
+	sqInUse int
+	rq      []RQE
+	// wire orders executions at the responder for this QP's requests.
+	userData any
+}
+
+// QPConfig sizes a queue pair.
+type QPConfig struct {
+	SendDepth int // max outstanding send WRs (default 128)
+	SendCQ    *CQ
+	RecvCQ    *CQ
+}
+
+// CreateQP creates a queue pair in the INIT state.
+func (d *Device) CreateQP(cfg QPConfig) *QP {
+	if cfg.SendDepth <= 0 {
+		cfg.SendDepth = 128
+	}
+	if cfg.SendCQ == nil {
+		cfg.SendCQ = d.CreateCQ(0)
+	}
+	if cfg.RecvCQ == nil {
+		cfg.RecvCQ = d.CreateCQ(0)
+	}
+	d.nextQPN++
+	qp := &QP{
+		dev:     d,
+		num:     d.nextQPN,
+		sendCQ:  cfg.SendCQ,
+		recvCQ:  cfg.RecvCQ,
+		sqDepth: cfg.SendDepth,
+	}
+	cfg.SendCQ.bound = append(cfg.SendCQ.bound, qp)
+	cfg.RecvCQ.bound = append(cfg.RecvCQ.bound, qp)
+	return qp
+}
+
+// Connect transitions a pair of QPs (one per device) to the ready state,
+// wiring them to each other. It replaces the out-of-band CM exchange real
+// deployments perform over TCP — which is also how KafkaDirect bootstraps
+// ("the response from the broker contains the RDMA connection string", §4.2.2).
+func Connect(a, b *QP) error {
+	if a.state != QPInit || b.state != QPInit {
+		return ErrQPState
+	}
+	a.remote, b.remote = b, a
+	a.state, b.state = QPReady, QPReady
+	return nil
+}
+
+// Num returns the queue pair number.
+func (qp *QP) Num() uint32 { return qp.num }
+
+// State returns the current state.
+func (qp *QP) State() QPState { return qp.state }
+
+// Device returns the owning device.
+func (qp *QP) Device() *Device { return qp.dev }
+
+// Remote returns the connected peer QP (nil before Connect).
+func (qp *QP) Remote() *QP { return qp.remote }
+
+// SendCQ and RecvCQ return the bound completion queues.
+func (qp *QP) SendCQ() *CQ { return qp.sendCQ }
+func (qp *QP) RecvCQ() *CQ { return qp.recvCQ }
+
+// SetUserData attaches arbitrary context to the QP (e.g. which client it
+// belongs to); UserData retrieves it.
+func (qp *QP) SetUserData(v any) { qp.userData = v }
+func (qp *QP) UserData() any     { return qp.userData }
+
+// PostRecv posts a receive buffer consumed by incoming Send or WriteWithImm.
+func (qp *QP) PostRecv(rqe RQE) error {
+	if qp.state == QPError {
+		return ErrQPState
+	}
+	qp.rq = append(qp.rq, rqe)
+	return nil
+}
+
+// RecvPosted reports the number of posted, unconsumed receives.
+func (qp *QP) RecvPosted() int { return len(qp.rq) }
+
+// Disconnect moves both ends to the error state and raises async events, the
+// mechanism brokers use to detect failed producers and revoke file access
+// (§4.2.2).
+func (qp *QP) Disconnect() {
+	qp.fail("local disconnect")
+}
+
+func (qp *QP) fail(reason string) {
+	if qp.state == QPError {
+		return
+	}
+	qp.state = QPError
+	qp.dev.emitAsync(AsyncEvent{QP: qp, Reason: reason})
+	if qp.remote != nil && qp.remote.state != QPError {
+		qp.remote.fail("peer disconnect: " + reason)
+	}
+}
+
+// PostSend posts a work request. It never blocks; NIC and wire time are
+// charged through the simulated clock, and a completion is delivered to the
+// send CQ (unless Unsignaled) when the request is acknowledged.
+func (qp *QP) PostSend(wr SendWR) error {
+	if qp.state != QPReady {
+		return ErrQPState
+	}
+	if qp.sqInUse >= qp.sqDepth {
+		return ErrSQFull
+	}
+	qp.sqInUse++
+	d := qp.dev
+	env := d.env
+	now := env.Now()
+	costs := d.costs
+
+	// Requester RNIC engine time (per-WR processing).
+	ready := d.engine.Reserve(now, costs.ReqOverhead)
+
+	size := len(wr.Local)
+	var wireBytes int
+	switch wr.Op {
+	case OpSend, OpWrite, OpWriteImm:
+		wireBytes = size + costs.HeaderBytes
+	case OpRead:
+		wireBytes = costs.HeaderBytes // the request itself is tiny
+	case OpCompSwap, OpFetchAdd:
+		wireBytes = costs.HeaderBytes + 16
+	default:
+		qp.sqInUse--
+		return fmt.Errorf("rdma: cannot post opcode %v", wr.Op)
+	}
+
+	// The WR hits the wire once the engine has processed it.
+	env.At(ready, func() {
+		remote := qp.remote
+		qp.dev.node.Network().Deliver(d.node, remote.dev.node, wireBytes, func() {
+			qp.execAtResponder(wr, size)
+		})
+	})
+	return nil
+}
+
+// execAtResponder runs in scheduler context at the time the request fully
+// arrives at the responder, performs the memory operation, and schedules the
+// acknowledgement or response back to the requester.
+func (qp *QP) execAtResponder(wr SendWR, size int) {
+	d := qp.dev
+	remote := qp.remote
+	rdev := remote.dev
+	env := d.env
+	costs := rdev.costs
+
+	if qp.state != QPReady || remote.state != QPReady {
+		qp.complete(wr, CQE{Status: StatusFlushed})
+		return
+	}
+
+	// Responder-side RNIC processing.
+	done := rdev.resp.Reserve(env.Now(), costs.RespOverhead)
+
+	switch wr.Op {
+	case OpSend:
+		if len(remote.rq) == 0 {
+			qp.complete(wr, CQE{Status: StatusRNR})
+			remote.fail("receiver not ready (no posted receive)")
+			return
+		}
+		rqe := remote.rq[0]
+		remote.rq = remote.rq[1:]
+		if len(rqe.Buf) < size {
+			qp.complete(wr, CQE{Status: StatusRemoteAccessErr})
+			remote.fail("receive buffer too small")
+			return
+		}
+		env.At(done, func() {
+			copy(rqe.Buf, wr.Local)
+			remote.recvCQ.push(CQE{
+				QP: remote, WRID: rqe.WRID, Op: OpRecv, Status: StatusOK,
+				ByteLen: size, Imm: wr.Imm, HasImm: wr.HasImm,
+			})
+			rdev.node.Network().Deliver(rdev.node, d.node, costs.AckBytes, func() {
+				qp.complete(wr, CQE{Status: StatusOK})
+			})
+		})
+
+	case OpWrite, OpWriteImm:
+		dst, status := rdev.resolve(wr.RKey, wr.RemoteAddr, size, AccessRemoteWrite)
+		if status != StatusOK {
+			qp.complete(wr, CQE{Status: status})
+			remote.fail("remote access error on write")
+			return
+		}
+		var rqe *RQE
+		if wr.Op == OpWriteImm {
+			// WriteWithImm consumes a receive (buffer unused) so that the
+			// responder gets a completion event carrying the immediate data.
+			if len(remote.rq) == 0 {
+				qp.complete(wr, CQE{Status: StatusRNR})
+				remote.fail("receiver not ready (WriteWithImm, no posted receive)")
+				return
+			}
+			r := remote.rq[0]
+			remote.rq = remote.rq[1:]
+			rqe = &r
+		}
+		env.At(done, func() {
+			copy(dst, wr.Local)
+			if rqe != nil {
+				remote.recvCQ.push(CQE{
+					QP: remote, WRID: rqe.WRID, Op: OpRecv, Status: StatusOK,
+					ByteLen: size, Imm: wr.Imm, HasImm: true,
+				})
+			}
+			rdev.node.Network().Deliver(rdev.node, d.node, costs.AckBytes, func() {
+				qp.complete(wr, CQE{Status: StatusOK})
+			})
+		})
+
+	case OpRead:
+		src, status := rdev.resolve(wr.RKey, wr.RemoteAddr, size, AccessRemoteRead)
+		if status != StatusOK {
+			qp.complete(wr, CQE{Status: status})
+			remote.fail("remote access error on read")
+			return
+		}
+		env.At(done, func() {
+			// Snapshot at response time; the DMA engine reads memory as the
+			// response leaves the responder.
+			data := make([]byte, size)
+			copy(data, src)
+			rdev.node.Network().Deliver(rdev.node, d.node, size+costs.HeaderBytes, func() {
+				copy(wr.Local, data)
+				qp.complete(wr, CQE{Status: StatusOK, ByteLen: size})
+			})
+		})
+
+	case OpCompSwap, OpFetchAdd:
+		word, status := rdev.resolve(wr.RKey, wr.RemoteAddr, 8, AccessRemoteAtomic)
+		if status != StatusOK || wr.RemoteAddr%8 != 0 {
+			if status == StatusOK {
+				status = StatusRemoteAccessErr
+			}
+			qp.complete(wr, CQE{Status: status})
+			remote.fail("remote access error on atomic")
+			return
+		}
+		// Atomics serialise on a per-address execution unit — the paper's
+		// 2.68 Mreq/s single-counter throughput limit (§4.2.2).
+		unit := rdev.atomicUnit(wr.RemoteAddr)
+		opDone := unit.Reserve(done, costs.AtomicService)
+		op := wr.Op
+		env.At(opDone, func() {
+			old := binary.LittleEndian.Uint64(word)
+			if op == OpFetchAdd {
+				binary.LittleEndian.PutUint64(word, old+wr.Add)
+			} else if old == wr.Compare {
+				binary.LittleEndian.PutUint64(word, wr.Swap)
+			}
+			rdev.node.Network().Deliver(rdev.node, d.node, costs.AckBytes+8, func() {
+				if len(wr.Local) >= 8 {
+					binary.LittleEndian.PutUint64(wr.Local, old)
+				}
+				qp.complete(wr, CQE{Status: StatusOK, Old: old, ByteLen: 8})
+			})
+		})
+	}
+}
+
+// complete releases the SQ slot and, if signaled, delivers the requester CQE.
+func (qp *QP) complete(wr SendWR, e CQE) {
+	qp.sqInUse--
+	if wr.Unsignaled && e.Status == StatusOK {
+		return
+	}
+	e.QP = qp
+	e.WRID = wr.WRID
+	e.Op = wr.Op
+	if e.ByteLen == 0 {
+		e.ByteLen = len(wr.Local)
+	}
+	qp.sendCQ.push(e)
+}

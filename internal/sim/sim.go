@@ -1,0 +1,494 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// kernel with cooperative, goroutine-backed processes.
+//
+// The kernel is the substrate for the whole KafkaDirect reproduction: the
+// RDMA fabric, the TCP stack, brokers, and clients all run as sim processes
+// exchanging real bytes while time advances virtually. A benchmark that
+// "takes" 400 simulated seconds completes in milliseconds of wall time and is
+// bit-for-bit reproducible for a given seed.
+//
+// Concurrency model: exactly one process runs at a time. A process runs until
+// it blocks (Sleep, Queue.Recv, Cond.Wait, Resource.Acquire, ...) or returns.
+// The scheduler then pops the next event from a time-ordered heap and resumes
+// its process. Events with equal timestamps are ordered by insertion sequence,
+// which makes the simulation fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured from the start of the simulation.
+type Time = time.Duration
+
+// Env is a simulation environment: a virtual clock plus the event queue and
+// process bookkeeping. Create one with NewEnv, spawn processes with Go, and
+// drive it with Run or RunUntil.
+type Env struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	yield   chan struct{} // running process -> scheduler: "I blocked or exited"
+	stopped bool
+	live    int // processes spawned and not yet exited
+
+	rng *rand.Rand
+
+	// procs tracks every spawned process so Shutdown can unwind them.
+	procs []*Proc
+
+	// Trace, when non-nil, receives a line per interesting kernel event.
+	// Used by tests and the -trace flag of cmd/kdcluster.
+	Trace func(format string, args ...any)
+}
+
+// NewEnv returns a fresh environment with its clock at zero and a
+// deterministic random source derived from seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source. It must only
+// be used from within simulation processes (or before Run), never from
+// foreign goroutines.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// event is a scheduled occurrence: either resume a parked process or invoke
+// an inline callback (which must not block).
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+func (e *Env) push(at Time, p *Proc, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p, fn: fn})
+}
+
+// At schedules fn to run inline (in scheduler context, without a process) at
+// absolute virtual time t. fn must not block; it may wake processes.
+func (e *Env) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.push(t, nil, fn)
+}
+
+// After schedules fn to run d from now. See At.
+func (e *Env) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Proc is a simulation process. All blocking operations take the process as
+// receiver so that misuse (blocking outside a process) is impossible to write.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan wakeup
+	parked bool
+	dead   bool
+	// waitToken guards against stale timeout events waking a process that
+	// has already been woken for another reason and moved on.
+	waitToken uint64
+	// timedOut stages the timeout flag between the timer event firing and the
+	// scheduler resuming the process.
+	timedOut bool
+}
+
+type wakeup struct {
+	timedOut bool
+	token    uint64
+	// kill unwinds the process: park panics with a sentinel the process
+	// wrapper recovers, releasing the goroutine and everything it pins.
+	kill bool
+}
+
+// killSentinel is the panic value used to unwind processes on Shutdown.
+type killSentinel struct{}
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go spawns a new process running fn, scheduled to start at the current
+// virtual time. It is safe to call before Run and from within processes.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan wakeup)}
+	e.live++
+	e.procs = append(e.procs, p)
+	go func() {
+		if w := <-p.resume; w.kill {
+			// Shut down before ever running.
+			p.dead = true
+			e.live--
+			e.yield <- struct{}{}
+			return
+		}
+		// The deferred handshake also runs if fn aborts via runtime.Goexit
+		// (e.g. t.Fatal inside a simulation process) or via the Shutdown
+		// sentinel, so the scheduler never deadlocks on a vanished process
+		// and finished simulations release their goroutines.
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSentinel); !ok {
+					panic(r)
+				}
+			}
+			p.dead = true
+			e.live--
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.push(e.now, p, nil)
+	return p
+}
+
+// park suspends the calling process until it is woken. Returns true if the
+// wakeup was a timeout (see parkTimeout).
+func (p *Proc) park() bool {
+	p.parked = true
+	p.env.yield <- struct{}{}
+	w := <-p.resume
+	p.parked = false
+	if w.kill {
+		panic(killSentinel{})
+	}
+	return w.timedOut
+}
+
+// wake schedules a parked process to resume at the current time. It must only
+// be called while p is parked and not otherwise scheduled.
+func (p *Proc) wake() {
+	p.waitToken++
+	p.env.push(p.env.now, p, nil)
+}
+
+// parkTimeout parks the process and additionally arms a timer: if nothing
+// wakes it within d, cancel (called in scheduler context, must remove p from
+// whatever wait list it is on) runs and the process resumes with timedOut
+// reported true. d < 0 means no timeout.
+func (p *Proc) parkTimeout(d Time, cancel func()) (timedOut bool) {
+	if d < 0 {
+		return p.park()
+	}
+	p.waitToken++
+	token := p.waitToken
+	e := p.env
+	e.push(e.now+d, nil, func() {
+		if p.waitToken != token || !p.parked {
+			return // already woken for another reason
+		}
+		cancel()
+		p.waitToken++
+		e.seq++
+		heap.Push(&e.events, event{at: e.now, seq: e.seq, proc: p, fn: nil})
+		p.timedOut = true
+	})
+	return p.park()
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		// Even zero-length sleeps yield, preserving round-robin fairness.
+		d = 0
+	}
+	p.waitToken++
+	p.env.push(p.env.now+d, p, nil)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting equally-timed
+// events run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run executes the simulation until no events remain or Stop is called.
+func (e *Env) Run() { e.RunUntil(-1) }
+
+// RunUntil executes the simulation until no events remain, Stop is called, or
+// the clock would pass deadline (deadline < 0 means no deadline). Events at
+// exactly deadline still run.
+func (e *Env) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		if deadline >= 0 && ev.at > deadline {
+			heap.Push(&e.events, ev)
+			e.now = deadline
+			return
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		p := ev.proc
+		if p.dead {
+			continue
+		}
+		to := p.timedOut
+		p.timedOut = false
+		p.resume <- wakeup{timedOut: to, token: p.waitToken}
+		<-e.yield
+	}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Env) Stop() { e.stopped = true }
+
+// Shutdown unwinds every remaining process so the environment and the
+// memory its processes pin become garbage-collectable. Call it after the
+// last Run/RunUntil; the environment must not be used afterwards. Long-lived
+// harnesses that build many simulations (the benchmark suite constructs one
+// per data point) depend on this to keep memory bounded.
+func (e *Env) Shutdown() {
+	for _, p := range e.procs {
+		if p.dead {
+			continue
+		}
+		p.resume <- wakeup{kill: true}
+		<-e.yield
+	}
+	e.procs = nil
+	e.events = nil
+}
+
+// Pending reports the number of scheduled events (diagnostic).
+func (e *Env) Pending() int { return len(e.events) }
+
+// Live reports the number of spawned processes that have not exited.
+func (e *Env) Live() int { return e.live }
+
+func (e *Env) tracef(format string, args ...any) {
+	if e.Trace != nil {
+		e.Trace(format, args...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Condition variables
+// ---------------------------------------------------------------------------
+
+// Cond is a simulation-aware condition variable. There is no associated lock:
+// because only one process runs at a time, state inspected immediately before
+// Wait cannot change underneath the caller.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait parks the calling process until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// WaitTimeout is Wait with a timeout; it reports whether the wait timed out.
+// d < 0 waits forever.
+func (c *Cond) WaitTimeout(p *Proc, d Time) (timedOut bool) {
+	c.waiters = append(c.waiters, p)
+	return p.parkTimeout(d, func() { c.remove(p) })
+}
+
+func (c *Cond) remove(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.wake()
+}
+
+// Broadcast wakes all waiting processes.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p.wake()
+	}
+}
+
+// Waiting reports the number of processes blocked on the condition.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// ---------------------------------------------------------------------------
+// Queues
+// ---------------------------------------------------------------------------
+
+// Queue is an unbounded FIFO queue of T with blocking receive. It is the
+// building block for request queues, completion queues, and message inboxes.
+type Queue[T any] struct {
+	items []T
+	cond  Cond
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends an item and wakes one waiting receiver. It never blocks and is
+// callable from inline events as well as processes.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// TryPop removes and returns the head item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop blocks the calling process until an item is available, then removes and
+// returns the head item.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// PopTimeout is Pop with a timeout. ok is false if the timeout elapsed first.
+// d < 0 waits forever.
+func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
+	deadline := p.env.now + d
+	for len(q.items) == 0 {
+		if d < 0 {
+			q.cond.Wait(p)
+			continue
+		}
+		remain := deadline - p.env.now
+		if remain < 0 || q.cond.WaitTimeout(p, remain) {
+			var zero T
+			return zero, false
+		}
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// ---------------------------------------------------------------------------
+// Resources
+// ---------------------------------------------------------------------------
+
+// Resource models a pool of identical servers (CPU threads, an RNIC atomic
+// unit, ...). Acquire takes one unit, blocking FIFO when none are free.
+type Resource struct {
+	capacity int
+	inUse    int
+	cond     Cond
+}
+
+// NewResource returns a resource pool with the given capacity.
+func NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource capacity %d", capacity))
+	}
+	return &Resource{capacity: capacity}
+}
+
+// Acquire blocks until a unit is free and takes it.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.capacity {
+		r.cond.Wait(p)
+	}
+	r.inUse++
+}
+
+// Release returns a unit and wakes one waiter.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource")
+	}
+	r.inUse--
+	r.cond.Signal()
+}
+
+// Use acquires a unit, holds it for service time d, and releases it. This is
+// the common pattern for charging CPU or NIC processing time.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity reports the pool size.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// ---------------------------------------------------------------------------
+// Pacer
+// ---------------------------------------------------------------------------
+
+// Pacer serialises access to a rate-limited serial device (a network link, a
+// memory bus). Reserve books the next slot of length d and returns the time
+// the booked interval ends; the device is busy until then. It does not block:
+// callers that want to experience the delay sleep until the returned time.
+type Pacer struct {
+	freeAt Time
+}
+
+// Reserve books an interval of length d starting no earlier than now, and
+// returns the interval's end time.
+func (pc *Pacer) Reserve(now, d Time) Time {
+	start := now
+	if pc.freeAt > start {
+		start = pc.freeAt
+	}
+	pc.freeAt = start + d
+	return pc.freeAt
+}
+
+// FreeAt reports when the device becomes idle.
+func (pc *Pacer) FreeAt() Time { return pc.freeAt }

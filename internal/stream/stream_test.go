@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func shortConfig(sys System, wl Workload, replicas int) Config {
+	cfg := DefaultConfig()
+	cfg.System = sys
+	cfg.Workload = wl
+	cfg.Replicas = replicas
+	cfg.Duration = 4 * time.Second
+	cfg.BurstGap = 2 * time.Second
+	cfg.BurstSize = 200
+	return cfg
+}
+
+func TestConstantRateDeliversAllEvents(t *testing.T) {
+	res := Run(shortConfig(SysKafkaDirect, ConstantRate, 1))
+	// 400 events/s for ~4 s across 2 topics.
+	if res.Events < 1200 || res.Events > 1700 {
+		t.Fatalf("events = %d, want ≈1600", res.Events)
+	}
+	if res.Mean <= 0 || res.Max < res.P99 || res.P99 < res.P50 {
+		t.Fatalf("degenerate stats: %+v", res)
+	}
+}
+
+func TestKafkaDirectBeatsKafkaOnDelay(t *testing.T) {
+	kd := Run(shortConfig(SysKafkaDirect, ConstantRate, 1))
+	kafka := Run(shortConfig(SysKafka, ConstantRate, 1))
+	if kd.Mean >= kafka.Mean {
+		t.Fatalf("KafkaDirect mean %v not below Kafka %v", kd.Mean, kafka.Mean)
+	}
+	ratio := float64(kafka.Mean) / float64(kd.Mean)
+	if ratio < 1.5 {
+		t.Fatalf("improvement only %.2fx; paper reports ~3.3x average", ratio)
+	}
+}
+
+func TestReplicationRaisesDelay(t *testing.T) {
+	plain := Run(shortConfig(SysKafka, ConstantRate, 1))
+	repl := Run(shortConfig(SysKafka, ConstantRate, 2))
+	if repl.Mean <= plain.Mean {
+		t.Fatalf("2x replication should raise delay: %v vs %v", repl.Mean, plain.Mean)
+	}
+}
+
+func TestBurstRaisesTailDelay(t *testing.T) {
+	steady := Run(shortConfig(SysKafkaDirect, ConstantRate, 1))
+	burst := Run(shortConfig(SysKafkaDirect, PeriodicBurst, 1))
+	if burst.Events <= steady.Events {
+		t.Fatalf("burst run should deliver more events: %d vs %d", burst.Events, steady.Events)
+	}
+	if burst.Max <= steady.Max {
+		t.Fatalf("burst max delay %v should exceed steady %v", burst.Max, steady.Max)
+	}
+}
+
+func TestBucketsCoverTheRun(t *testing.T) {
+	res := Run(shortConfig(SysKafkaDirect, ConstantRate, 1))
+	if len(res.Buckets) < 3 {
+		t.Fatalf("only %d buckets", len(res.Buckets))
+	}
+	total := 0
+	for _, b := range res.Buckets {
+		if b.Events <= 0 || b.Mean < 0 {
+			t.Fatalf("bad bucket %+v", b)
+		}
+		total += b.Events
+	}
+	if total != res.Events {
+		t.Fatalf("bucket events %d != total %d", total, res.Events)
+	}
+}
+
+func TestSensorEventJSONShape(t *testing.T) {
+	ev := SensorEvent{TimestampNanos: 123, Lane: 2, CarCount: 17, AvgSpeed: 61.5}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SensorEvent
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != ev {
+		t.Fatalf("round trip %+v", back)
+	}
+	for _, key := range []string{"ts", "lane", "count", "speed"} {
+		var m map[string]any
+		json.Unmarshal(data, &m)
+		if _, ok := m[key]; !ok {
+			t.Fatalf("JSON missing %q field: %s", key, data)
+		}
+	}
+}
+
+func TestWorkloadAndSystemStrings(t *testing.T) {
+	if ConstantRate.String() != "constant-rate" || PeriodicBurst.String() != "periodic-burst" {
+		t.Fatal("workload strings")
+	}
+	if SysKafka.String() != "kafka" || SysOSU.String() != "osu" || SysKafkaDirect.String() != "kafkadirect" {
+		t.Fatal("system strings")
+	}
+}

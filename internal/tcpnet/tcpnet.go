@@ -1,0 +1,313 @@
+// Package tcpnet models the kernel TCP/IP stack the original Kafka uses
+// (deployed over IPoIB in the paper's testbed, §5 "Settings"), running over
+// the same fabric as the RDMA simulator so comparisons are apples-to-apples.
+//
+// The stack is message-oriented (each Send delivers one framed message, like
+// one Kafka request on a connection) and charges the host costs the paper
+// identifies as the TCP datapath's handicap (§4.2.1):
+//
+//   - a per-message kernel dispatch cost on each side (system call, softirq,
+//     and the wakeup of a thread blocked in poll);
+//   - a user→kernel copy at the sender;
+//   - a kernel→application copy at the receiver ("the driver copies all
+//     received messages from its receive buffers to Kafka's receive
+//     buffers") — charged to the process that calls Recv, which in a broker
+//     is a network processor thread;
+//
+// The second broker-side copy ("from the network receive buffer to the file
+// buffer", §4.2.1) belongs to the application and is charged by the broker's
+// API workers, not here.
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"kafkadirect/internal/fabric"
+	"kafkadirect/internal/sim"
+)
+
+// Config holds the host-side cost parameters of the stack.
+type Config struct {
+	// SendOverhead is the fixed per-message cost of handing a message to
+	// the kernel (syscall + protocol processing).
+	SendOverhead time.Duration
+	// RecvOverhead is the fixed per-message cost of receiving (interrupt,
+	// protocol processing, waking the blocked reader).
+	RecvOverhead time.Duration
+	// CopyBandwidth is the memcpy bandwidth for kernel/user crossings,
+	// bytes per second.
+	CopyBandwidth float64
+	// DeliveryLatency is extra per-message latency between wire arrival and
+	// the receiver seeing the message: interrupt coalescing and the wakeup
+	// of a thread blocked in poll. Unlike the overheads above it consumes
+	// no CPU, so it hurts round trips but not pipelined throughput.
+	DeliveryLatency time.Duration
+	// HeaderBytes is the per-message on-wire framing overhead.
+	HeaderBytes int
+}
+
+// DefaultConfig calibrates the stack so that an empty Kafka fetch RPC costs
+// ≥200 µs round trip (§5.3) and the TCP network module saturates at around
+// 53 K requests/s with three network threads (§5.3).
+func DefaultConfig() Config {
+	return Config{
+		SendOverhead:    18 * time.Microsecond,
+		RecvOverhead:    30 * time.Microsecond,
+		CopyBandwidth:   5 << 30, // 5 GiB/s effective memcpy
+		DeliveryLatency: 35 * time.Microsecond,
+		HeaderBytes:     66,
+	}
+}
+
+// Errors returned by connection operations.
+var (
+	ErrClosed     = errors.New("tcpnet: connection closed")
+	ErrNoListener = errors.New("tcpnet: connection refused")
+)
+
+// Stack is the TCP/IP subsystem shared by all hosts on a fabric.
+type Stack struct {
+	net *fabric.Network
+	cfg Config
+}
+
+// NewStack creates a stack over the given fabric.
+func NewStack(net *fabric.Network, cfg Config) *Stack {
+	if cfg.CopyBandwidth <= 0 {
+		panic("tcpnet: copy bandwidth must be positive")
+	}
+	return &Stack{net: net, cfg: cfg}
+}
+
+// Config returns the stack configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// copyTime is the duration of copying n bytes across a kernel boundary.
+func (s *Stack) copyTime(n int) time.Duration {
+	return time.Duration(float64(n) / s.cfg.CopyBandwidth * 1e9)
+}
+
+// Host is a machine's TCP endpoint set.
+type Host struct {
+	stack     *Stack
+	node      *fabric.Node
+	listeners map[int]*Listener
+}
+
+// NewHost attaches a TCP host to a fabric node.
+func (s *Stack) NewHost(node *fabric.Node) *Host {
+	return &Host{stack: s, node: node, listeners: make(map[int]*Listener)}
+}
+
+// Node returns the underlying fabric node.
+func (h *Host) Node() *fabric.Node { return h.node }
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	host *Host
+	port int
+	q    *sim.Queue[*Conn]
+}
+
+// Listen opens a listener on the given port.
+func (h *Host) Listen(port int) (*Listener, error) {
+	if _, dup := h.listeners[port]; dup {
+		return nil, fmt.Errorf("tcpnet: port %d already in use on %s", port, h.node.Name())
+	}
+	l := &Listener{host: h, port: port, q: sim.NewQueue[*Conn]()}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Accept blocks until an inbound connection arrives.
+func (l *Listener) Accept(p *sim.Proc) *Conn { return l.q.Pop(p) }
+
+// Conn is one side of an established connection.
+type Conn struct {
+	host   *Host
+	peer   *Conn
+	inbox  *sim.Queue[message]
+	closed bool
+}
+
+type message struct {
+	data   []byte
+	closed bool
+}
+
+// Dial establishes a connection to a listener, costing one handshake round
+// trip of virtual time.
+func (h *Host) Dial(p *sim.Proc, remote *Host, port int) (*Conn, error) {
+	l, ok := remote.listeners[port]
+	if !ok {
+		return nil, ErrNoListener
+	}
+	s := h.stack
+	// SYN / SYN-ACK round trip plus connection setup cost on both hosts.
+	p.Sleep(s.cfg.SendOverhead)
+	done := sim.NewQueue[struct{}]()
+	s.net.Deliver(h.node, remote.node, s.cfg.HeaderBytes, func() {
+		s.net.Deliver(remote.node, h.node, s.cfg.HeaderBytes, func() {
+			done.Push(struct{}{})
+		})
+	})
+	done.Pop(p)
+	p.Sleep(s.cfg.RecvOverhead)
+
+	local := &Conn{host: h, inbox: sim.NewQueue[message]()}
+	rem := &Conn{host: remote, inbox: sim.NewQueue[message]()}
+	local.peer, rem.peer = rem, local
+	l.q.Push(rem)
+	return local, nil
+}
+
+// Host returns the host that owns this side of the connection.
+func (c *Conn) Host() *Host { return c.host }
+
+// Send transmits one framed message. The calling process is charged the
+// send-side kernel cost (dispatch plus the user→kernel copy); delivery into
+// the peer's socket buffer happens asynchronously after wire time. Messages
+// on one connection arrive in order. The payload is copied, so the caller
+// may reuse the buffer immediately — this is exactly the defensive copy the
+// kernel performs, and one of the copies RDMA avoids.
+func (c *Conn) Send(p *sim.Proc, data []byte) error {
+	if c.closed || c.peer.closed {
+		return ErrClosed
+	}
+	s := c.host.stack
+	p.Sleep(s.cfg.SendOverhead + s.copyTime(len(data)))
+	kernelCopy := make([]byte, len(data))
+	copy(kernelCopy, data)
+	peer := c.peer
+	s.net.Deliver(c.host.node, peer.host.node, len(data)+s.cfg.HeaderBytes, func() {
+		s.net.Env().After(s.cfg.DeliveryLatency, func() {
+			peer.inbox.Push(message{data: kernelCopy})
+		})
+	})
+	return nil
+}
+
+// Recv blocks until a message is available and returns it, charging the
+// receive-side kernel cost (dispatch plus the kernel→application copy) to
+// the calling process.
+func (c *Conn) Recv(p *sim.Proc) ([]byte, error) {
+	return c.recv(p, -1)
+}
+
+// RecvTimeout is Recv with a timeout; it returns (nil, false, nil) when the
+// timeout elapses.
+func (c *Conn) RecvTimeout(p *sim.Proc, d time.Duration) ([]byte, bool, error) {
+	data, err := c.recv(p, d)
+	if err == nil && data == nil {
+		return nil, false, nil
+	}
+	return data, err == nil, err
+}
+
+func (c *Conn) recv(p *sim.Proc, d time.Duration) ([]byte, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	m, ok := c.inbox.PopTimeout(p, d)
+	if !ok {
+		return nil, nil // timeout
+	}
+	if m.closed {
+		// Leave a persistent close marker for subsequent readers.
+		c.inbox.Push(m)
+		return nil, ErrClosed
+	}
+	s := c.host.stack
+	p.Sleep(s.cfg.RecvOverhead + s.copyTime(len(m.data)))
+	return m.data, nil
+}
+
+// RecvRaw blocks until a message arrives but charges NO receive cost: broker
+// network-processor threads use it together with RecvCost and a shared
+// thread-pool resource, so that the per-message kernel cost lands on the
+// thread pool rather than on a per-connection process.
+func (c *Conn) RecvRaw(p *sim.Proc) ([]byte, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	m := c.inbox.Pop(p)
+	if m.closed {
+		c.inbox.Push(m)
+		return nil, ErrClosed
+	}
+	return m.data, nil
+}
+
+// SendRaw transmits a message without charging the caller: the caller models
+// the send-side cost itself via SendCost. Usable from scheduler context.
+func (c *Conn) SendRaw(data []byte) error {
+	if c.closed || c.peer.closed {
+		return ErrClosed
+	}
+	s := c.host.stack
+	kernelCopy := make([]byte, len(data))
+	copy(kernelCopy, data)
+	peer := c.peer
+	s.net.Deliver(c.host.node, peer.host.node, len(data)+s.cfg.HeaderBytes, func() {
+		s.net.Env().After(s.cfg.DeliveryLatency, func() {
+			peer.inbox.Push(message{data: kernelCopy})
+		})
+	})
+	return nil
+}
+
+// SendCost returns the send-side host cost for a message of n bytes; used
+// with SendRaw.
+func (c *Conn) SendCost(n int) time.Duration {
+	s := c.host.stack
+	return s.cfg.SendOverhead + s.copyTime(n)
+}
+
+// TryRecv returns a pending message without blocking or charging cost if none
+// is available. The receive cost cannot be charged without a process, so the
+// caller must Sleep(RecvCost(len)) itself; broker network threads use Recv.
+func (c *Conn) TryRecv() ([]byte, bool, error) {
+	if c.closed {
+		return nil, false, ErrClosed
+	}
+	m, ok := c.inbox.TryPop()
+	if !ok {
+		return nil, false, nil
+	}
+	if m.closed {
+		c.inbox.Push(m)
+		return nil, false, ErrClosed
+	}
+	return m.data, true, nil
+}
+
+// RecvCost returns the receive-side cost for a message of n bytes; used with
+// TryRecv.
+func (c *Conn) RecvCost(n int) time.Duration {
+	s := c.host.stack
+	return s.cfg.RecvOverhead + s.copyTime(n)
+}
+
+// Close shuts the connection down; the peer's next Recv (after in-flight
+// messages drain) returns ErrClosed.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	peer := c.peer
+	s := c.host.stack
+	s.net.Deliver(c.host.node, peer.host.node, s.cfg.HeaderBytes, func() {
+		s.net.Env().After(s.cfg.DeliveryLatency, func() {
+			peer.inbox.Push(message{closed: true})
+		})
+	})
+}
+
+// Closed reports whether this side has been closed locally.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Pending reports queued inbound messages (diagnostics).
+func (c *Conn) Pending() int { return c.inbox.Len() }

@@ -1,0 +1,111 @@
+package kafkadirect_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kafkadirect"
+	"kafkadirect/internal/sim"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	s := kafkadirect.NewSim(kafkadirect.Options{Brokers: 1, RDMA: true})
+	s.MustCreateTopic("t", 1, 1)
+	elapsed := s.Run(func(p *sim.Proc) {
+		pr := s.MustRDMAProducer(p, "t", 0, kafkadirect.Exclusive)
+		for i := 0; i < 10; i++ {
+			if _, err := pr.Produce(p, kafkadirect.Record{Value: []byte(fmt.Sprintf("m%d", i)), Timestamp: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		co := s.MustRDMAConsumer(p, "t", 0, 0)
+		got := 0
+		for got < 10 {
+			recs, err := co.Poll(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += len(recs)
+		}
+	})
+	if elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestFacadeBaselineModeHasNoRDMA(t *testing.T) {
+	s := kafkadirect.NewSim(kafkadirect.Options{Brokers: 1}) // RDMA off
+	s.MustCreateTopic("t", 1, 1)
+	s.Run(func(p *sim.Proc) {
+		pr := s.MustTCPProducer(p, "t", 0, 1)
+		if _, err := pr.Produce(p, kafkadirect.Record{Value: []byte("x"), Timestamp: 1}); err != nil {
+			t.Fatal(err)
+		}
+		// RDMA access must be denied when the modules are off.
+		defer func() {
+			if recover() == nil {
+				t.Error("RDMA producer should panic via Must* when modules are disabled")
+			}
+		}()
+		s.MustRDMAProducer(p, "t", 0, kafkadirect.Exclusive)
+	})
+}
+
+func TestFacadeReplicatedCluster(t *testing.T) {
+	s := kafkadirect.NewSim(kafkadirect.Options{Brokers: 3, RDMA: true})
+	s.MustCreateTopic("t", 2, 3)
+	s.Run(func(p *sim.Proc) {
+		pr := s.MustRDMAProducer(p, "t", 1, kafkadirect.Exclusive)
+		for i := 0; i < 5; i++ {
+			if _, err := pr.Produce(p, kafkadirect.Record{Value: []byte("r"), Timestamp: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Sleep(10 * time.Millisecond)
+		leader := s.Cluster().LeaderOf("t", 1)
+		for _, id := range leader.Partition("t", 1).Replicas() {
+			b := s.Cluster().Broker(id)
+			if leo := b.Partition("t", 1).Log().NextOffset(); leo != 5 {
+				t.Fatalf("replica %s LEO %d, want 5", id, leo)
+			}
+		}
+	})
+}
+
+func TestFacadeRunForDeadline(t *testing.T) {
+	s := kafkadirect.NewSim(kafkadirect.Options{Brokers: 1})
+	s.MustCreateTopic("t", 1, 1)
+	ticks := 0
+	s.Go("ticker", func(p *sim.Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+			ticks++
+		}
+	})
+	s.RunFor(10*time.Millisecond, func(p *sim.Proc) {
+		p.Sleep(time.Hour) // never finishes; the deadline must cut it off
+	})
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+}
+
+func TestDeterminismAcrossSimRuns(t *testing.T) {
+	run := func() time.Duration {
+		s := kafkadirect.NewSim(kafkadirect.Options{Brokers: 2, RDMA: true, Seed: 99})
+		s.MustCreateTopic("t", 1, 2)
+		return s.Run(func(p *sim.Proc) {
+			pr := s.MustRDMAProducer(p, "t", 0, kafkadirect.Exclusive)
+			for i := 0; i < 20; i++ {
+				if _, err := pr.Produce(p, kafkadirect.Record{Value: []byte("d"), Timestamp: 1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("simulation not deterministic: %v vs %v", a, b)
+	}
+}
