@@ -2,24 +2,54 @@
 //
 // Usage:
 //
-//	kdbench -fig all        # every experiment, in order
-//	kdbench -fig 6          # just Figure 6
-//	kdbench -fig emptyfetch # the §5.3 empty-fetch table
-//	kdbench -list           # list experiment ids
+//	kdbench -fig all             # every experiment, in order
+//	kdbench -fig 6               # just Figure 6
+//	kdbench -fig emptyfetch      # the §5.3 empty-fetch table
+//	kdbench -list                # list experiment ids
+//	kdbench -fig all -workers 8  # run data points on 8 workers
+//	kdbench -fig all -json       # also write BENCH_figs.json (perf trajectory)
+//
+// Table output is byte-identical for any -workers value: experiments and
+// their data points are deterministic simulations with fixed seeds, and the
+// runner assembles tables in paper order regardless of completion order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"kafkadirect/internal/bench"
 )
 
+// jsonReport is the schema of BENCH_figs.json: one record per figure with
+// its wall-clock cost and simulator event counts, so perf regressions in the
+// harness itself are visible run over run.
+type jsonReport struct {
+	Workers     int          `json:"workers"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	TotalWallMS float64      `json:"total_wall_ms"`
+	Figures     []jsonFigure `json:"figures"`
+}
+
+type jsonFigure struct {
+	ID            string  `json:"id"`
+	Title         string  `json:"title"`
+	WallMS        float64 `json:"wall_ms"`
+	Events        uint64  `json:"events"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+}
+
 func main() {
 	fig := flag.String("fig", "all", "figure id to reproduce (e.g. 6, fig10, emptyfetch, all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "number of parallel benchmark workers (1 = sequential)")
+	jsonOut := flag.Bool("json", false, "write per-figure perf metrics to BENCH_figs.json")
 	flag.Parse()
 
 	if *list {
@@ -28,16 +58,54 @@ func main() {
 		}
 		return
 	}
+
+	var exps []bench.Experiment
 	if strings.EqualFold(*fig, "all") {
-		for _, e := range bench.Experiments() {
-			e.Run().Print(os.Stdout)
+		exps = bench.Experiments()
+	} else {
+		e, ok := bench.Lookup(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kdbench: unknown figure %q; try -list\n", *fig)
+			os.Exit(1)
 		}
-		return
+		exps = []bench.Experiment{e}
 	}
-	e, ok := bench.Lookup(*fig)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "kdbench: unknown figure %q; try -list\n", *fig)
-		os.Exit(1)
+
+	start := time.Now()
+	results := bench.RunExperiments(exps, *workers)
+	totalWall := time.Since(start)
+
+	for _, r := range results {
+		r.Table.Print(os.Stdout)
 	}
-	e.Run().Print(os.Stdout)
+
+	if *jsonOut {
+		report := jsonReport{
+			Workers:     *workers,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			TotalWallMS: float64(totalWall) / float64(time.Millisecond),
+		}
+		for _, r := range results {
+			report.Figures = append(report.Figures, jsonFigure{
+				ID:            r.ID,
+				Title:         r.Title,
+				WallMS:        float64(r.Wall) / float64(time.Millisecond),
+				Events:        r.Events,
+				EventsPerSec:  r.EventsPerSec(),
+				PeakHeapBytes: r.PeakHeap,
+			})
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kdbench: marshal report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile("BENCH_figs.json", data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "kdbench: write BENCH_figs.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "kdbench: wrote BENCH_figs.json (%d figures, %.0f ms total)\n",
+			len(report.Figures), report.TotalWallMS)
+	}
 }

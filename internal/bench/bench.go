@@ -103,14 +103,23 @@ func (t *Table) Print(w io.Writer) {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() *Table
+	// Run executes the experiment standalone, discarding perf counters.
+	Run func() *Table
+	// run is the underlying implementation; the runner passes a Stats
+	// collector so events and heap usage are attributed per experiment.
+	run func(st *Stats) *Table
 }
 
 // registry holds all experiments in display order.
 var registry []Experiment
 
-func register(id, title string, run func() *Table) {
-	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+func register(id, title string, run func(st *Stats) *Table) {
+	registry = append(registry, Experiment{
+		ID:    id,
+		Title: title,
+		Run:   func() *Table { return run(new(Stats)) },
+		run:   run,
+	})
 }
 
 // Experiments lists all registered experiments in the paper's order:
@@ -137,12 +146,19 @@ func figOrder(id string) float64 {
 }
 
 // Lookup finds an experiment by id ("fig06", "6", "emptyfetch", ...),
-// case-insensitively.
+// case-insensitively. An exact id match always wins; the zero-trimmed fuzzy
+// match ("6" -> "fig06") is only consulted when no registered id matches
+// exactly, so a registered id can never be shadowed by a fuzzy alias.
 func Lookup(id string) (Experiment, bool) {
 	id = strings.TrimPrefix(strings.ToLower(id), "fig")
 	for _, e := range registry {
+		if strings.ToLower(strings.TrimPrefix(e.ID, "fig")) == id {
+			return e, true
+		}
+	}
+	for _, e := range registry {
 		key := strings.ToLower(strings.TrimPrefix(e.ID, "fig"))
-		if key == id || strings.TrimLeft(key, "0") == strings.TrimLeft(id, "0") {
+		if strings.TrimLeft(key, "0") == strings.TrimLeft(id, "0") {
 			return e, true
 		}
 	}

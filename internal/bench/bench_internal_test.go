@@ -33,6 +33,31 @@ func TestLookupAcceptsFlexibleIDs(t *testing.T) {
 	}
 }
 
+// TestLookupExactMatchWins pins the precedence rule: a registered id is
+// always found by its exact spelling, even when an earlier registry entry's
+// zero-trimmed key would fuzzily match the same query.
+func TestLookupExactMatchWins(t *testing.T) {
+	saved := registry
+	defer func() { registry = saved }()
+	registry = []Experiment{
+		{ID: "fig010", Title: "decoy: fuzzy-matches 10"},
+		{ID: "fig10", Title: "exact"},
+	}
+	e, ok := Lookup("fig10")
+	if !ok || e.ID != "fig10" {
+		t.Fatalf("Lookup(fig10) = %q, %v; want exact fig10", e.ID, ok)
+	}
+	e, ok = Lookup("010")
+	if !ok || e.ID != "fig010" {
+		t.Fatalf("Lookup(010) = %q, %v; want exact fig010", e.ID, ok)
+	}
+	// Fuzzy matching still applies when nothing matches exactly.
+	e, ok = Lookup("0010")
+	if !ok || e.ID != "fig010" {
+		t.Fatalf("Lookup(0010) = %q, %v; want fuzzy fig010", e.ID, ok)
+	}
+}
+
 func TestExperimentsAreOrderedAndTitled(t *testing.T) {
 	exps := Experiments()
 	if len(exps) < 16 {

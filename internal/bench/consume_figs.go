@@ -41,22 +41,31 @@ func preload(p *sim.Proc, r *sysRig, topic string, n, size int) {
 // fig18 reproduces consumer latency on preloaded data: the paper preloads
 // 10 000 records and fetches them one by one; Kafka needs a fetch RPC per
 // record (~200 µs+), the RDMA consumer a 2 KiB read (~4.2 µs).
-func fig18() *Table {
+func fig18(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig18",
 		Title:   "Consumer latency per record (us), preloaded TP",
 		Columns: []string{"size", "kafka", "kd"},
 	}
 	sizes := []int{32, 128, 512, 2048, 8192, 32768, 131072}
-	for _, size := range sizes {
-		t.AddRow(sizeLabel(size), consumeLatencyTCP(size), consumeLatencyRDMA(size))
+	vals := make([]time.Duration, len(sizes)*2)
+	forEach(len(vals), func(i int) {
+		size := sizes[i/2]
+		if i%2 == 0 {
+			vals[i] = consumeLatencyTCP(st, size)
+		} else {
+			vals[i] = consumeLatencyRDMA(st, size)
+		}
+	})
+	for si, size := range sizes {
+		t.AddRow(sizeLabel(size), vals[si*2], vals[si*2+1])
 	}
 	t.Note("paper: Kafka >=200us everywhere; KafkaDirect 4.2us small (50x), growing with record size")
 	return t
 }
 
-func consumeLatencyTCP(size int) time.Duration {
-	r := newSysRig(rigConfig{brokers: 1})
+func consumeLatencyTCP(st *Stats, size int) time.Duration {
+	r := newSysRig(rigConfig{brokers: 1, stats: st})
 	r.topic("t", 1, 1)
 	const n = 40
 	var lat time.Duration
@@ -92,23 +101,46 @@ func consumeLatencyTCP(size int) time.Duration {
 	return lat
 }
 
-func consumeLatencyRDMA(size int) time.Duration {
-	return consumeLatencyRDMAFetch(size, 0)
+func consumeLatencyRDMA(st *Stats, size int) time.Duration {
+	return consumeLatencyRDMAFetch(st, size, 0)
 }
 
 // emptyFetch reproduces the §5.3 empty-fetch results: the latency of
 // checking for new records on an idle TP (TCP fetch RPC vs RDMA metadata
 // slot read), and how many such checks per second the broker side sustains.
-func emptyFetch() *Table {
+func emptyFetch(st *Stats) *Table {
 	t := &Table{
 		ID:      "emptyfetch",
 		Title:   "Empty fetch: check-for-new-records cost on an idle TP",
 		Columns: []string{"metric", "kafka_tcp", "kd_rdma"},
 	}
-	// Latency: one consumer, idle TP.
-	r := newSysRig(rigConfig{brokers: 1})
-	r.topic("t", 1, 1)
+	const consumers = 48
+	const window = 40 * time.Millisecond
 	var tcpLat, rdmaLat time.Duration
+	var tcpRate, rdmaRate float64
+	forEach(3, func(i int) {
+		switch i {
+		case 0:
+			tcpLat, rdmaLat = emptyFetchLatency(st)
+		case 1:
+			tcpRate = emptyFetchRate(st, consumers, window, false)
+		case 2:
+			rdmaRate = emptyFetchRate(st, consumers, window, true)
+		}
+	})
+	t.AddRow("latency_us", tcpLat, rdmaLat)
+	// Throughput: many consumers hammering an idle TP; measure completed
+	// checks per second. TCP consumes broker threads; RDMA only the RNIC.
+	t.AddRow("checks_per_sec", fmt.Sprintf("%.0fK", tcpRate/1e3), fmt.Sprintf("%.0fK", rdmaRate/1e3))
+	t.AddRow("broker_requests", "one per check", "zero")
+	t.Note("paper: 53K/s (TCP, network-module bound) vs 8300K/s (RDMA, RNIC bound) — 156x")
+	return t
+}
+
+// emptyFetchLatency measures one consumer polling an idle TP over both paths.
+func emptyFetchLatency(st *Stats) (tcpLat, rdmaLat time.Duration) {
+	r := newSysRig(rigConfig{brokers: 1, stats: st})
+	r.topic("t", 1, 1)
 	r.run(func(p *sim.Proc) {
 		tc, err := client.NewTCPConsumer(p, r.endpoint("cli-tcp"), "t", 0, 0, "g")
 		if err != nil {
@@ -133,22 +165,11 @@ func emptyFetch() *Table {
 		}
 		rdmaLat = (p.Now() - start) / n
 	})
-	t.AddRow("latency_us", tcpLat, rdmaLat)
-
-	// Throughput: many consumers hammering an idle TP; measure completed
-	// checks per second. TCP consumes broker threads; RDMA only the RNIC.
-	const consumers = 48
-	const window = 40 * time.Millisecond
-	tcpRate := emptyFetchRate(consumers, window, false)
-	rdmaRate := emptyFetchRate(consumers, window, true)
-	t.AddRow("checks_per_sec", fmt.Sprintf("%.0fK", tcpRate/1e3), fmt.Sprintf("%.0fK", rdmaRate/1e3))
-	t.AddRow("broker_requests", "one per check", "zero")
-	t.Note("paper: 53K/s (TCP, network-module bound) vs 8300K/s (RDMA, RNIC bound) — 156x")
-	return t
+	return tcpLat, rdmaLat
 }
 
-func emptyFetchRate(consumers int, window time.Duration, viaRDMA bool) float64 {
-	r := newSysRig(rigConfig{brokers: 1})
+func emptyFetchRate(st *Stats, consumers int, window time.Duration, viaRDMA bool) float64 {
+	r := newSysRig(rigConfig{brokers: 1, stats: st})
 	r.topic("t", 1, 1)
 	var checks int
 	r.run(func(p *sim.Proc) {
@@ -197,7 +218,7 @@ func emptyFetchRate(consumers int, window time.Duration, viaRDMA bool) float64 {
 
 // fig19 reproduces the end-to-end latency experiment: one client produces a
 // record and fetches it back; RDMA can be enabled on either or both sides.
-func fig19() *Table {
+func fig19(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig19",
 		Title:   "End-to-end produce+consume latency (us)",
@@ -216,10 +237,16 @@ func fig19() *Table {
 		{"rdma_cons", sysKafka, true},
 		{"rdma_both", sysKDExcl, true},
 	}
-	for _, size := range sizes {
+	nc := len(combos)
+	vals := make([]time.Duration, len(sizes)*nc)
+	forEach(len(vals), func(i int) {
+		c := combos[i%nc]
+		vals[i] = endToEndLatency(st, c.prodKind, c.consRDMA, sizes[i/nc])
+	})
+	for si, size := range sizes {
 		row := []any{sizeLabel(size)}
-		for _, c := range combos {
-			row = append(row, endToEndLatency(c.prodKind, c.consRDMA, size))
+		for ci := 0; ci < nc; ci++ {
+			row = append(row, vals[si*nc+ci])
 		}
 		t.AddRow(row...)
 	}
@@ -227,8 +254,8 @@ func fig19() *Table {
 	return t
 }
 
-func endToEndLatency(prodKind systemKind, consRDMA bool, size int) time.Duration {
-	r := newSysRig(rigConfig{brokers: 1})
+func endToEndLatency(st *Stats, prodKind systemKind, consRDMA bool, size int) time.Duration {
+	r := newSysRig(rigConfig{brokers: 1, stats: st})
 	r.topic("t", 1, 1)
 	var lat time.Duration
 	r.run(func(p *sim.Proc) {
@@ -282,26 +309,34 @@ func endToEndLatency(prodKind systemKind, consRDMA bool, size int) time.Duration
 // fig20 reproduces consume goodput: the TP is preloaded; the TCP broker
 // replies with one record per fetch (the paper's anti-batching setting); the
 // RDMA consumer reads at its configured fetch size.
-func fig20() *Table {
+func fig20(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig20",
 		Title:   "Consume goodput (MiB/s), preloaded TP, one record per TCP fetch",
 		Columns: []string{"size", "kafka", "osu", "kd"},
 	}
 	sizes := []int{32, 128, 512, 2048, 8192, 32768}
-	for _, size := range sizes {
-		t.AddRow(sizeLabel(size),
-			consumeGoodputRPC(size, false),
-			consumeGoodputRPC(size, true),
-			consumeGoodputRDMA(size, 0),
-		)
+	vals := make([]float64, len(sizes)*3)
+	forEach(len(vals), func(i int) {
+		size := sizes[i/3]
+		switch i % 3 {
+		case 0:
+			vals[i] = consumeGoodputRPC(st, size, false)
+		case 1:
+			vals[i] = consumeGoodputRPC(st, size, true)
+		case 2:
+			vals[i] = consumeGoodputRDMA(st, size, 0)
+		}
+	})
+	for si, size := range sizes {
+		t.AddRow(sizeLabel(size), vals[si*3], vals[si*3+1], vals[si*3+2])
 	}
 	t.Note("paper: Kafka and OSU <150 MiB/s; RDMA consumer ~9x, reaching ~1 GiB/s (client-bound, broker CPU idle)")
 	return t
 }
 
-func consumeGoodputRPC(size int, osu bool) float64 {
-	r := newSysRig(rigConfig{brokers: 1})
+func consumeGoodputRPC(st *Stats, size int, osu bool) float64 {
+	r := newSysRig(rigConfig{brokers: 1, stats: st})
 	r.topic("t", 1, 1)
 	n := 3 << 20 / size
 	if n > 1200 {
@@ -342,8 +377,8 @@ func consumeGoodputRPC(size int, osu bool) float64 {
 	return mibps(n*size, elapsed)
 }
 
-func consumeGoodputRDMA(size, fetchSize int) float64 {
-	r := newSysRig(rigConfig{brokers: 1})
+func consumeGoodputRDMA(st *Stats, size, fetchSize int) float64 {
+	r := newSysRig(rigConfig{brokers: 1, stats: st})
 	r.topic("t", 1, 1)
 	n := 6 << 20 / size
 	if n > 2000 {
@@ -383,16 +418,25 @@ func consumeGoodputRDMA(size, fetchSize int) float64 {
 
 // ablationFetchSize sweeps the RDMA consumer's fetch size (§4.4.2 fixes it
 // at 2 KiB as a latency/bandwidth tradeoff).
-func ablationFetchSize() *Table {
+func ablationFetchSize(st *Stats) *Table {
 	t := &Table{
 		ID:      "ablation-fetchsize",
 		Title:   "RDMA consumer fetch size: per-record latency (us, 32 B records) and goodput (MiB/s, 2 KiB records)",
 		Columns: []string{"fetch_size", "latency_us", "goodput_MiBs"},
 	}
-	for _, fs := range []int{512, 1024, 2048, 4096, 8192, 16384} {
-		lat := consumeLatencyRDMAFetch(32, fs)
-		gput := consumeGoodputRDMA(2048, fs)
-		t.AddRow(sizeLabel(fs), lat, gput)
+	fetchSizes := []int{512, 1024, 2048, 4096, 8192, 16384}
+	lats := make([]time.Duration, len(fetchSizes))
+	gputs := make([]float64, len(fetchSizes))
+	forEach(len(fetchSizes)*2, func(i int) {
+		fs := fetchSizes[i/2]
+		if i%2 == 0 {
+			lats[i/2] = consumeLatencyRDMAFetch(st, 32, fs)
+		} else {
+			gputs[i/2] = consumeGoodputRDMA(st, 2048, fs)
+		}
+	})
+	for i, fs := range fetchSizes {
+		t.AddRow(sizeLabel(fs), lats[i], gputs[i])
 	}
 	t.Note("2 KiB is the paper's default: <3us reads while sustaining >5 GiB/s on the wire")
 	return t
@@ -402,8 +446,8 @@ func ablationFetchSize() *Table {
 // polls needed until the next record(s) arrive. For records smaller than the
 // fetch size this is one RDMA read (the paper's 4.2 us); for larger records
 // it spans the multiple reads needed to assemble one record.
-func consumeLatencyRDMAFetch(size, fetchSize int) time.Duration {
-	r := newSysRig(rigConfig{brokers: 1})
+func consumeLatencyRDMAFetch(st *Stats, size, fetchSize int) time.Duration {
+	r := newSysRig(rigConfig{brokers: 1, stats: st})
 	r.topic("t", 1, 1)
 	const rounds = 30
 	var lat time.Duration

@@ -3,8 +3,10 @@ package bench
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 
+	"kafkadirect/internal/bufpool"
 	"kafkadirect/internal/fabric"
 	"kafkadirect/internal/rdma"
 	"kafkadirect/internal/sim"
@@ -24,12 +26,13 @@ func init() {
 
 // microRig is a one-responder verbs testbed.
 type microRig struct {
-	env    *sim.Env
-	net    *fabric.Network
-	target *rdma.Device
-	pd     *rdma.PD
-	region *rdma.MR
-	word   *rdma.MR // shared order|offset counter
+	env       *sim.Env
+	net       *fabric.Network
+	target    *rdma.Device
+	pd        *rdma.PD
+	region    *rdma.MR
+	regionBuf []byte
+	word      *rdma.MR // shared order|offset counter
 }
 
 func newMicroRig(seed int64, regionSize int) *microRig {
@@ -37,7 +40,11 @@ func newMicroRig(seed int64, regionSize int) *microRig {
 	net := fabric.New(env, fabric.DefaultConfig())
 	target := rdma.NewDevice(net.NewNode("target"), rdma.DefaultCosts())
 	pd := target.AllocPD()
-	region, err := pd.RegisterMR(make([]byte, regionSize), rdma.AccessRemoteWrite|rdma.AccessRemoteRead)
+	// The target region is tens of MiB and rebuilt per data point; pool it so
+	// each rig reuses (rather than reallocates and re-zeroes) the span. The
+	// RNIC tracks the write high-water mark, bounding the re-zero on return.
+	regionBuf := bufpool.Get(regionSize)
+	region, err := pd.RegisterMR(regionBuf, rdma.AccessRemoteWrite|rdma.AccessRemoteRead)
 	if err != nil {
 		panic(err)
 	}
@@ -46,7 +53,17 @@ func newMicroRig(seed int64, regionSize int) *microRig {
 	if err != nil {
 		panic(err)
 	}
-	return &microRig{env: env, net: net, target: target, pd: pd, region: region, word: word}
+	return &microRig{env: env, net: net, target: target, pd: pd,
+		region: region, regionBuf: regionBuf, word: word}
+}
+
+// finish shuts the rig down, records its executed-event count, and returns
+// the target region to the buffer pool.
+func (r *microRig) finish(st *Stats) {
+	r.env.Shutdown()
+	st.AddEvents(r.env.Executed())
+	bufpool.Put(r.regionBuf, r.region.Touched())
+	r.regionBuf = nil
 }
 
 // client adds a requester machine with a connected QP; the responder side
@@ -85,7 +102,7 @@ type produceMode struct {
 // fig06 measures aggregate goodput of the exclusive and shared produce
 // protocols. Shared producers pay an atomic reservation per message; CAS can
 // fail under contention and retries, FAA always succeeds (§4.2.2).
-func fig06() *Table {
+func fig06(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig06",
 		Title:   "RDMA produce approaches, aggregate goodput (GiB/s) vs message size",
@@ -100,17 +117,15 @@ func fig06() *Table {
 		{"cas_5p", 5, "cas"},
 	}
 	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144}
-	results := make(map[string]map[int]float64)
-	for _, m := range modes {
-		results[m.name] = make(map[int]float64)
-		for _, size := range sizes {
-			results[m.name][size] = microProduceGoodput(m, size)
-		}
-	}
-	for _, size := range sizes {
+	nm := len(modes)
+	vals := make([]float64, len(sizes)*nm)
+	forEach(len(vals), func(i int) {
+		vals[i] = microProduceGoodput(st, modes[i%nm], sizes[i/nm])
+	})
+	for si, size := range sizes {
 		row := []any{sizeLabel(size)}
-		for _, m := range modes {
-			row = append(row, results[m.name][size])
+		for mi := 0; mi < nm; mi++ {
+			row = append(row, vals[si*nm+mi])
 		}
 		t.AddRow(row...)
 	}
@@ -120,7 +135,7 @@ func fig06() *Table {
 
 // microProduceGoodput pushes messages of one size for a fixed count per
 // producer and reports aggregate goodput in GiB/s.
-func microProduceGoodput(m produceMode, size int) float64 {
+func microProduceGoodput(st *Stats, m produceMode, size int) float64 {
 	r := newMicroRig(1, 64<<20)
 	count := 3000 / m.producers
 	if size >= 65536 {
@@ -201,7 +216,7 @@ func microProduceGoodput(m produceMode, size int) float64 {
 		r.env.Stop()
 	})
 	r.env.RunUntil(60 * time.Second)
-	r.env.Shutdown()
+	r.finish(st)
 	total := count * m.producers * size
 	return gibps(total, elapsed)
 }
@@ -209,7 +224,7 @@ func microProduceGoodput(m produceMode, size int) float64 {
 // fig07 compares WriteWithImm against Write+Send for notifying the broker
 // about written data: latency (requester completion round trip) and write
 // goodput.
-func fig07() *Table {
+func fig07(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig07",
 		Title:   "Notification approaches: latency (us) for small writes, goodput (GiB/s) for larger",
@@ -221,22 +236,36 @@ func fig07() *Table {
 		name     string
 		sendSize int // 0 = WriteWithImm
 	}
+	cfgs := []cfg{{"wimm", 0}, {"w+s4", 4}, {"w+s128", 128}, {"w+s512", 512}}
 	latencies := map[string]map[int]time.Duration{}
 	goodputs := map[string]map[int]float64{}
-	for _, c := range []cfg{{"wimm", 0}, {"w+s4", 4}, {"w+s128", 128}, {"w+s512", 512}} {
+	for _, c := range cfgs {
 		latencies[c.name] = map[int]time.Duration{}
 		goodputs[c.name] = map[int]float64{}
-		for _, s := range latSizes {
-			latencies[c.name][s] = microNotifyLatency(c.sendSize, s)
-		}
-		for _, s := range bwSizes {
-			goodputs[c.name][s] = microNotifyGoodput(c.sendSize, s)
-		}
 	}
+	// One point per (config, size, metric); map writes are serialized under
+	// the mutex, and each point writes a distinct key, so the table contents
+	// are identical regardless of completion order.
+	perCfg := len(latSizes) + len(bwSizes)
+	var mu sync.Mutex
+	forEach(len(cfgs)*perCfg, func(i int) {
+		c := cfgs[i/perCfg]
+		j := i % perCfg
+		if j < len(latSizes) {
+			v := microNotifyLatency(st, c.sendSize, latSizes[j])
+			mu.Lock()
+			latencies[c.name][latSizes[j]] = v
+			mu.Unlock()
+		} else {
+			s := bwSizes[j-len(latSizes)]
+			v := microNotifyGoodput(st, c.sendSize, s)
+			mu.Lock()
+			goodputs[c.name][s] = v
+			mu.Unlock()
+		}
+	})
 	for i := range latSizes {
 		ls := latSizes[i]
-		bs := bwSizes[i%len(bwSizes)]
-		_ = bs
 		t.AddRow(sizeLabel(ls),
 			latencies["wimm"][ls], latencies["w+s4"][ls], latencies["w+s128"][ls],
 			"", "", "")
@@ -249,7 +278,7 @@ func fig07() *Table {
 	return t
 }
 
-func microNotifyLatency(sendSize, writeSize int) time.Duration {
+func microNotifyLatency(st *Stats, sendSize, writeSize int) time.Duration {
 	r := newMicroRig(1, 1<<20)
 	qp := r.client("c")
 	var lat time.Duration
@@ -267,7 +296,7 @@ func microNotifyLatency(sendSize, writeSize int) time.Duration {
 		r.env.Stop()
 	})
 	r.env.RunUntil(10 * time.Second)
-	r.env.Shutdown()
+	r.finish(st)
 	return lat
 }
 
@@ -284,7 +313,7 @@ func doOne(p *sim.Proc, qp *rdma.QP, r *microRig, payload, meta []byte, sendSize
 	qp.SendCQ().Poll(p)
 }
 
-func microNotifyGoodput(sendSize, writeSize int) float64 {
+func microNotifyGoodput(st *Stats, sendSize, writeSize int) float64 {
 	r := newMicroRig(1, 16<<20)
 	qp := r.client("c")
 	var elapsed time.Duration
@@ -319,7 +348,7 @@ func microNotifyGoodput(sendSize, writeSize int) float64 {
 		r.env.Stop()
 	})
 	r.env.RunUntil(30 * time.Second)
-	r.env.Shutdown()
+	r.finish(st)
 	return gibps(n*writeSize, elapsed)
 }
 
@@ -327,21 +356,26 @@ func microNotifyGoodput(sendSize, writeSize int) float64 {
 // 6 GiB/s and contiguous records are merged into single writes up to the
 // batch size. Latency is the delay from a record's arrival to its write
 // completing; goodput is replicated bytes over time (§4.3.2).
-func fig08() *Table {
+func fig08(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig08",
 		Title:   "Batching 64-byte writes: latency (us) and goodput (GiB/s) vs max batch size",
 		Columns: []string{"batch", "latency_us", "goodput_GiBs"},
 	}
-	for _, batch := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
-		lat, gput := microBatching(batch)
-		t.AddRow(sizeLabel(batch), lat, gput)
+	batches := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	lats := make([]time.Duration, len(batches))
+	gputs := make([]float64, len(batches))
+	forEach(len(batches), func(i int) {
+		lats[i], gputs[i] = microBatching(st, batches[i])
+	})
+	for i, batch := range batches {
+		t.AddRow(sizeLabel(batch), lats[i], gputs[i])
 	}
 	t.Note("goodput climbs with batch size; latency is flat until batches exceed the 2 KiB packet, then queueing sets in (paper picks 1 KiB)")
 	return t
 }
 
-func microBatching(maxBatch int) (time.Duration, float64) {
+func microBatching(st *Stats, maxBatch int) (time.Duration, float64) {
 	r := newMicroRig(1, 64<<20)
 	qp := r.client("leader")
 	// The leader is overloaded: records are always available, so every
@@ -378,7 +412,7 @@ func microBatching(maxBatch int) (time.Duration, float64) {
 		r.env.Stop()
 	})
 	r.env.RunUntil(120 * time.Second)
-	r.env.Shutdown()
+	r.finish(st)
 	if completed == 0 {
 		return 0, 0
 	}

@@ -17,7 +17,7 @@ func init() {
 // exclusive RDMA producer with each method, produce latency and goodput.
 // The paper concludes KafkaDirect should ship WriteWithImm but that
 // Write+Send remains attractive when 32 bits of immediate data are too few.
-func ablationNotify() *Table {
+func ablationNotify(st *Stats) *Table {
 	t := &Table{
 		ID:      "ablation-notify",
 		Title:   "Produce latency (us) and goodput (MiB/s): notification method, in-system",
@@ -28,22 +28,31 @@ func ablationNotify() *Table {
 		mode     client.NotifyMode
 		metaSize int
 	}
-	for _, c := range []cfg{
+	cfgs := []cfg{
 		{"write_with_imm", client.NotifyWriteImm, 0},
 		{"write+send_8B", client.NotifyWriteSend, 8},
 		{"write+send_128B", client.NotifyWriteSend, 128},
 		{"write+send_512B", client.NotifyWriteSend, 512},
-	} {
-		lat := notifyLatency(c.mode, c.metaSize, 128)
-		gput := notifyGoodput(c.mode, c.metaSize, 4096)
-		t.AddRow(c.name, lat, gput)
+	}
+	lats := make([]time.Duration, len(cfgs))
+	gputs := make([]float64, len(cfgs))
+	forEach(len(cfgs)*2, func(i int) {
+		c := cfgs[i/2]
+		if i%2 == 0 {
+			lats[i/2] = notifyLatency(st, c.mode, c.metaSize, 128)
+		} else {
+			gputs[i/2] = notifyGoodput(st, c.mode, c.metaSize, 4096)
+		}
+	})
+	for i, c := range cfgs {
+		t.AddRow(c.name, lats[i], gputs[i])
 	}
 	t.Note("WriteWithImm stays the lowest-latency choice in-system, as §4.2.2 concludes; Write+Send costs one extra WR per produce")
 	return t
 }
 
-func notifyLatency(mode client.NotifyMode, metaSize, recordSize int) time.Duration {
-	r := newSysRig(rigConfig{brokers: 1})
+func notifyLatency(st *Stats, mode client.NotifyMode, metaSize, recordSize int) time.Duration {
+	r := newSysRig(rigConfig{brokers: 1, stats: st})
 	r.topic("t", 1, 1)
 	var lat time.Duration
 	r.run(func(p *sim.Proc) {
@@ -67,8 +76,8 @@ func notifyLatency(mode client.NotifyMode, metaSize, recordSize int) time.Durati
 	return lat
 }
 
-func notifyGoodput(mode client.NotifyMode, metaSize, recordSize int) float64 {
-	r := newSysRig(rigConfig{brokers: 1})
+func notifyGoodput(st *Stats, mode client.NotifyMode, metaSize, recordSize int) float64 {
+	r := newSysRig(rigConfig{brokers: 1, stats: st})
 	r.topic("t", 1, 1)
 	const n = 2000
 	var elapsed time.Duration

@@ -1,6 +1,9 @@
 package bench
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 func init() {
 	register("fig10", "Produce latency, no replication (us)", fig10)
@@ -13,43 +16,55 @@ func init() {
 var latencySizes = []int{32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072}
 var bandwidthSizes = []int{32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
 
+// produceKinds are the four compared systems of Fig. 10/11.
+var produceKinds = []systemKind{sysKafka, sysOSU, sysKDExcl, sysKDShared}
+
 // fig10 reproduces the produce latency comparison: Kafka vs OSU Kafka vs
 // KafkaDirect exclusive vs shared, single unreplicated partition, closed
-// loop, no client batching (§5.1).
-func fig10() *Table {
+// loop, no client batching (§5.1). Every (size, system) point is its own
+// deployment, so the points fan out over the worker pool.
+func fig10(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig10",
 		Title:   "Produce latency (us), 1 TP, no replication",
 		Columns: []string{"size", "kafka", "osu", "kd_excl", "kd_shared"},
 	}
-	cfg := rigConfig{brokers: 1}
-	for _, size := range latencySizes {
-		t.AddRow(sizeLabel(size),
-			produceLatency(sysKafka, size, cfg),
-			produceLatency(sysOSU, size, cfg),
-			produceLatency(sysKDExcl, size, cfg),
-			produceLatency(sysKDShared, size, cfg),
-		)
+	cfg := rigConfig{brokers: 1, stats: st}
+	nk := len(produceKinds)
+	vals := make([]time.Duration, len(latencySizes)*nk)
+	forEach(len(vals), func(i int) {
+		vals[i] = produceLatency(produceKinds[i%nk], latencySizes[i/nk], cfg)
+	})
+	for si, size := range latencySizes {
+		row := []any{sizeLabel(size)}
+		for ki := 0; ki < nk; ki++ {
+			row = append(row, vals[si*nk+ki])
+		}
+		t.AddRow(row...)
 	}
 	t.Note("paper: Kafka ~300us small, OSU ~90us below Kafka, KafkaDirect ~90us; exclusive ~2.5us under shared")
 	return t
 }
 
 // fig11 reproduces the single-partition produce goodput comparison.
-func fig11() *Table {
+func fig11(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig11",
 		Title:   "Produce goodput (MiB/s), 1 TP, no replication, open loop",
 		Columns: []string{"size", "kafka", "osu", "kd_excl", "kd_shared"},
 	}
-	cfg := rigConfig{brokers: 1}
-	for _, size := range bandwidthSizes {
-		t.AddRow(sizeLabel(size),
-			produceGoodput(sysKafka, size, 1, 1, cfg),
-			produceGoodput(sysOSU, size, 1, 1, cfg),
-			produceGoodput(sysKDExcl, size, 1, 1, cfg),
-			produceGoodput(sysKDShared, size, 1, 1, cfg),
-		)
+	cfg := rigConfig{brokers: 1, stats: st}
+	nk := len(produceKinds)
+	vals := make([]float64, len(bandwidthSizes)*nk)
+	forEach(len(vals), func(i int) {
+		vals[i] = produceGoodput(produceKinds[i%nk], bandwidthSizes[i/nk], 1, 1, cfg)
+	})
+	for si, size := range bandwidthSizes {
+		row := []any{sizeLabel(size)}
+		for ki := 0; ki < nk; ki++ {
+			row = append(row, vals[si*nk+ki])
+		}
+		t.AddRow(row...)
 	}
 	t.Note("paper: ~10x KD-exclusive vs Kafka at 512B; 1.65 GiB/s vs 280 MiB/s at 32K")
 	return t
@@ -58,19 +73,23 @@ func fig11() *Table {
 // fig12 reproduces goodput scaling with partitions (one producer per TP;
 // each TP is limited to one API worker by locking, so parallelism grows with
 // partitions until the worker pool saturates at 8).
-func fig12() *Table {
+func fig12(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig12",
 		Title:   "Produce goodput (GiB/s) vs partitions, 32 KiB records",
 		Columns: []string{"partitions", "kafka", "kd_excl", "kd_shared"},
 	}
 	const size = 32 << 10
-	cfg := rigConfig{brokers: 1}
-	for _, parts := range []int{1, 2, 4, 8, 16} {
-		kafka := produceGoodput(sysKafka, size, parts, 1, cfg) / 1024
-		excl := produceGoodput(sysKDExcl, size, parts, 1, cfg) / 1024
-		shared := produceGoodput(sysKDShared, size, parts, 1, cfg) / 1024
-		t.AddRow(fmt_int(parts), kafka, excl, shared)
+	cfg := rigConfig{brokers: 1, stats: st}
+	kinds := []systemKind{sysKafka, sysKDExcl, sysKDShared}
+	partCounts := []int{1, 2, 4, 8, 16}
+	nk := len(kinds)
+	vals := make([]float64, len(partCounts)*nk)
+	forEach(len(vals), func(i int) {
+		vals[i] = produceGoodput(kinds[i%nk], size, partCounts[i/nk], 1, cfg) / 1024
+	})
+	for pi, parts := range partCounts {
+		t.AddRow(fmt_int(parts), vals[pi*nk], vals[pi*nk+1], vals[pi*nk+2])
 	}
 	t.Note("paper: saturates at 8 partitions (= API workers); KD-exclusive 4.5 GiB/s, shared 3 GiB/s, Kafka ~0.5 GiB/s")
 	return t
@@ -80,18 +99,23 @@ func fmt_int(v int) string { return fmt.Sprintf("%d", v) }
 
 // fig13 reproduces the single-API-worker scaling experiment: brokers with
 // ONE worker, producers on private TPs, 4 KiB records.
-func fig13() *Table {
+func fig13(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig13",
 		Title:   "Total goodput (MiB/s) vs producers, 1 API worker, 4 KiB records, private TPs",
 		Columns: []string{"producers", "kafka", "kd_excl"},
 	}
 	const size = 4 << 10
-	for _, producers := range []int{1, 2, 3, 4, 5, 6, 7} {
-		cfg := rigConfig{brokers: 1, apiWorkers: 1}
-		kafka := produceGoodput(sysKafka, size, producers, 1, cfg)
-		kd := produceGoodput(sysKDExcl, size, producers, 1, cfg)
-		t.AddRow(fmt_int(producers), kafka, kd)
+	cfg := rigConfig{brokers: 1, apiWorkers: 1, stats: st}
+	kinds := []systemKind{sysKafka, sysKDExcl}
+	producerCounts := []int{1, 2, 3, 4, 5, 6, 7}
+	nk := len(kinds)
+	vals := make([]float64, len(producerCounts)*nk)
+	forEach(len(vals), func(i int) {
+		vals[i] = produceGoodput(kinds[i%nk], size, producerCounts[i/nk], 1, cfg)
+	})
+	for pi, producers := range producerCounts {
+		t.AddRow(fmt_int(producers), vals[pi*nk], vals[pi*nk+1])
 	}
 	t.Note("paper: KD plateaus ~630 MiB/s, Kafka ~190 MiB/s — a 3.3x CPU-load reduction")
 	return t

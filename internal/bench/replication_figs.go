@@ -33,17 +33,23 @@ var replLines = []replConfig{
 
 // fig14 reproduces produce latency under 3-way replication for the five
 // configurations of §5.2.
-func fig14() *Table {
+func fig14(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig14",
 		Title:   "Produce latency (us), 3-way replication, acks=all",
 		Columns: []string{"size", "kafka", "osu", "rdma_prod", "rdma_repl", "rdma_both"},
 	}
 	sizes := []int{32, 128, 512, 2048, 8192, 32768, 131072}
-	for _, size := range sizes {
+	nl := len(replLines)
+	vals := make([]time.Duration, len(sizes)*nl)
+	forEach(len(vals), func(i int) {
+		lc := replLines[i%nl]
+		vals[i] = produceLatency(lc.kind, sizes[i/nl], rigConfig{brokers: 3, repl: lc.repl, stats: st})
+	})
+	for si, size := range sizes {
 		row := []any{sizeLabel(size)}
-		for _, lc := range replLines {
-			row = append(row, produceLatency(lc.kind, size, rigConfig{brokers: 3, repl: lc.repl}))
+		for li := 0; li < nl; li++ {
+			row = append(row, vals[si*nl+li])
 		}
 		t.AddRow(row...)
 	}
@@ -52,17 +58,23 @@ func fig14() *Table {
 }
 
 // fig15 reproduces produce goodput under 3-way replication.
-func fig15() *Table {
+func fig15(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig15",
 		Title:   "Produce goodput (MiB/s), 3-way replication, acks=all",
 		Columns: []string{"size", "kafka", "osu", "rdma_prod", "rdma_repl", "rdma_both"},
 	}
 	sizes := []int{32, 128, 512, 2048, 8192, 32768}
-	for _, size := range sizes {
+	nl := len(replLines)
+	vals := make([]float64, len(sizes)*nl)
+	forEach(len(vals), func(i int) {
+		lc := replLines[i%nl]
+		vals[i] = produceGoodput(lc.kind, sizes[i/nl], 1, 1, rigConfig{brokers: 3, repl: lc.repl, stats: st})
+	})
+	for si, size := range sizes {
 		row := []any{sizeLabel(size)}
-		for _, lc := range replLines {
-			row = append(row, produceGoodput(lc.kind, size, 1, 1, rigConfig{brokers: 3, repl: lc.repl}))
+		for li := 0; li < nl; li++ {
+			row = append(row, vals[si*nl+li])
 		}
 		t.AddRow(row...)
 	}
@@ -71,7 +83,7 @@ func fig15() *Table {
 }
 
 // fig16 reproduces goodput versus replication factor at 32 KiB.
-func fig16() *Table {
+func fig16(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig16",
 		Title:   "Produce goodput (MiB/s) vs replication factor, 32 KiB records",
@@ -84,15 +96,22 @@ func fig16() *Table {
 		{"rdma_repl", sysKafka, replPush},
 		{"rdma_both", sysKDExcl, replPush},
 	}
-	for _, rf := range []int{1, 2, 3, 4} {
+	rfs := []int{1, 2, 3, 4}
+	nl := len(lines)
+	vals := make([]float64, len(rfs)*nl)
+	forEach(len(vals), func(i int) {
+		lc := lines[i%nl]
+		rf := rfs[i/nl]
+		repl := lc.repl
+		if rf == 1 {
+			repl = replNone
+		}
+		vals[i] = produceGoodputRF(lc.kind, size, rf, rigConfig{brokers: 4, repl: repl, stats: st})
+	})
+	for ri, rf := range rfs {
 		row := []any{fmt_int(rf)}
-		for _, lc := range lines {
-			repl := lc.repl
-			if rf == 1 {
-				repl = replNone
-			}
-			cfg := rigConfig{brokers: 4, repl: repl}
-			row = append(row, produceGoodputRF(lc.kind, size, rf, cfg))
+		for li := 0; li < nl; li++ {
+			row = append(row, vals[ri*nl+li])
 		}
 		t.AddRow(row...)
 	}
@@ -133,19 +152,24 @@ func produceGoodputRF(kind systemKind, recordSize, rf int, cfg rigConfig) float6
 // fig17 reproduces the push-replication batching sweep: an RDMA producer
 // injects unbatched 32 B records; the leader's replication module merges
 // contiguous writes up to the configured batch size (§4.3.2).
-func fig17() *Table {
+func fig17(st *Stats) *Table {
 	t := &Table{
 		ID:      "fig17",
 		Title:   "Goodput (MiB/s) of 32 B produces vs replication max batch size",
 		Columns: []string{"batch", "2way", "3way"},
 	}
-	for _, batch := range []int{32, 64, 128, 256, 512, 1024} {
-		row := []any{sizeLabel(batch)}
-		for _, rf := range []int{2, 3} {
-			cfg := rigConfig{brokers: rf, repl: replPush, pushBatch: batch, clientInFlight: 512}
-			row = append(row, produceGoodputRF(sysKDExcl, 32, rf, cfg))
-		}
-		t.AddRow(row...)
+	batches := []int{32, 64, 128, 256, 512, 1024}
+	rfs := []int{2, 3}
+	nr := len(rfs)
+	vals := make([]float64, len(batches)*nr)
+	forEach(len(vals), func(i int) {
+		batch := batches[i/nr]
+		rf := rfs[i%nr]
+		cfg := rigConfig{brokers: rf, repl: replPush, pushBatch: batch, clientInFlight: 512, stats: st}
+		vals[i] = produceGoodputRF(sysKDExcl, 32, rf, cfg)
+	})
+	for bi, batch := range batches {
+		t.AddRow(sizeLabel(batch), vals[bi*nr], vals[bi*nr+1])
 	}
 	t.Note("paper: 3.8 MiB/s unbatched climbing to ~5.2 MiB/s, limited by the API worker's checksum+lock, not the network")
 	return t
@@ -159,14 +183,16 @@ func init() {
 	register("ablation-credits", "Ablation: push-replication credits vs goodput (MiB/s)", ablationCredits)
 }
 
-func ablationCredits() *Table {
+func ablationCredits(st *Stats) *Table {
 	t := &Table{
 		ID:      "ablation-credits",
 		Title:   "Push replication: follower credit limit vs 3-way replicated goodput, 4 KiB records",
 		Columns: []string{"credits", "goodput_MiBs"},
 	}
-	for _, credits := range []int{1, 2, 4, 8, 16, 32, 64} {
-		r := newSysRig(rigConfig{brokers: 3, repl: replPush, pushCredits: credits})
+	creditValues := []int{1, 2, 4, 8, 16, 32, 64}
+	vals := make([]float64, len(creditValues))
+	forEach(len(vals), func(i int) {
+		r := newSysRig(rigConfig{brokers: 3, repl: replPush, pushCredits: creditValues[i], stats: st})
 		r.topic("t", 1, 3)
 		var elapsed time.Duration
 		const n = 1500
@@ -187,7 +213,10 @@ func ablationCredits() *Table {
 			}
 			elapsed = p.Now() - start
 		})
-		t.AddRow(fmt_int(credits), mibps(n*4096, elapsed))
+		vals[i] = mibps(n*4096, elapsed)
+	})
+	for i, credits := range creditValues {
+		t.AddRow(fmt_int(credits), vals[i])
 	}
 	t.Note("a handful of credits suffices; the knob exists to prevent CQ overrun, not to tune throughput")
 	return t

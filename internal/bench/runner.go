@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the parallel experiment runner. Experiments are independent
+// (every data point builds its own simulation with a fixed seed and touches
+// no shared mutable state), so the harness can run experiments — and the
+// data points inside them — concurrently on a bounded worker pool while
+// still assembling tables in paper order. The rendered output is
+// byte-identical to a sequential run; only the wall clock changes.
+
+// Stats accumulates performance counters for one experiment run: simulator
+// events executed across all of its data points, and the peak process heap
+// observed while the experiment was active. A nil *Stats discards updates,
+// so rig helpers can be called without a collector.
+type Stats struct {
+	events   atomic.Uint64
+	peakHeap atomic.Uint64
+}
+
+// AddEvents adds n executed simulator events (rigs call this at teardown).
+func (s *Stats) AddEvents(n uint64) {
+	if s != nil {
+		s.events.Add(n)
+	}
+}
+
+// Events returns the total simulator events recorded.
+func (s *Stats) Events() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.events.Load()
+}
+
+// notePeak folds one heap sample into the running maximum.
+func (s *Stats) notePeak(h uint64) {
+	for {
+		cur := s.peakHeap.Load()
+		if h <= cur || s.peakHeap.CompareAndSwap(cur, h) {
+			return
+		}
+	}
+}
+
+// PeakHeap returns the largest heap sample observed during the run.
+func (s *Stats) PeakHeap() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.peakHeap.Load()
+}
+
+// Result is one experiment's reproduced table plus its execution metrics.
+type Result struct {
+	ID       string
+	Title    string
+	Table    *Table
+	Wall     time.Duration
+	Events   uint64 // simulator events executed
+	PeakHeap uint64 // peak heap bytes sampled while active
+}
+
+// EventsPerSec is the wall-clock event rate of the run.
+func (r Result) EventsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.Wall.Seconds()
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+// workerSem bounds the number of data points executing at once across the
+// whole process. nil means "sequential": forEach runs its body inline, with
+// no goroutines involved, which is the workers=1 baseline.
+var (
+	workerMu  sync.Mutex
+	workerSem chan struct{}
+)
+
+// SetWorkers configures the pool. n <= 1 selects strict sequential
+// execution. The setting is process-global; change it only between runs.
+func SetWorkers(n int) {
+	workerMu.Lock()
+	defer workerMu.Unlock()
+	if n <= 1 {
+		workerSem = nil
+		return
+	}
+	workerSem = make(chan struct{}, n)
+}
+
+func currentSem() chan struct{} {
+	workerMu.Lock()
+	defer workerMu.Unlock()
+	return workerSem
+}
+
+// forEach runs fn(0..n-1), each call a data point. Sequential mode runs the
+// calls inline in order; parallel mode runs each under a pool slot, and any
+// panic is re-raised here after all points finish. Callers must make fn(i)
+// write only to its own slot of a pre-sized result slice.
+func forEach(n int, fn func(i int)) {
+	sem := currentSem()
+	if sem == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	for i := 0; i < n; i++ {
+		i := i
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Heap sampling
+// ---------------------------------------------------------------------------
+
+// activeStats is the set of experiments currently running; the sampler folds
+// each heap reading into every active collector.
+var (
+	activeMu    sync.Mutex
+	activeStats = map[*Stats]struct{}{}
+)
+
+func sampleHeap() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	activeMu.Lock()
+	for st := range activeStats {
+		st.notePeak(m.HeapAlloc)
+	}
+	activeMu.Unlock()
+}
+
+// startHeapSampler samples the heap every few milliseconds until the
+// returned stop function is called.
+func startHeapSampler() (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sampleHeap()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+// RunAll executes every registered experiment on a pool of the given number
+// of workers (0 means GOMAXPROCS) and returns results in the paper's order.
+// The rendered tables are byte-identical to a workers=1 run.
+func RunAll(workers int) []Result {
+	return RunExperiments(Experiments(), workers)
+}
+
+// RunExperiments executes the given experiments on a worker pool. With
+// workers <= 1 everything — experiments and their data points — runs
+// strictly sequentially. With more workers, experiments run as concurrent
+// goroutines whose data points contend for the shared pool slots.
+func RunExperiments(exps []Experiment, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	SetWorkers(workers)
+	defer SetWorkers(1)
+	stop := startHeapSampler()
+	defer stop()
+	results := make([]Result, len(exps))
+	if workers <= 1 {
+		for i, e := range exps {
+			results[i] = runExperiment(e)
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	for i, e := range exps {
+		i, e := i, e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			results[i] = runExperiment(e)
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return results
+}
+
+// runExperiment executes one experiment with a fresh Stats collector
+// registered for heap sampling.
+func runExperiment(e Experiment) Result {
+	st := &Stats{}
+	activeMu.Lock()
+	activeStats[st] = struct{}{}
+	activeMu.Unlock()
+	defer func() {
+		activeMu.Lock()
+		delete(activeStats, st)
+		activeMu.Unlock()
+	}()
+	sampleHeap() // bracket the run even if it outpaces the ticker
+	start := time.Now()
+	tbl := e.run(st)
+	wall := time.Since(start)
+	sampleHeap()
+	return Result{
+		ID:       e.ID,
+		Title:    e.Title,
+		Table:    tbl,
+		Wall:     wall,
+		Events:   st.Events(),
+		PeakHeap: st.PeakHeap(),
+	}
+}

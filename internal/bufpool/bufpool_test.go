@@ -1,0 +1,57 @@
+package bufpool
+
+import "testing"
+
+func TestGetReturnsZeroedBuffer(t *testing.T) {
+	b := Get(1 << 12)
+	if len(b) != 1<<12 {
+		t.Fatalf("len = %d", len(b))
+	}
+	for i := range b {
+		if b[i] != 0 {
+			t.Fatalf("fresh buffer dirty at %d", i)
+		}
+	}
+}
+
+func TestPutZeroesDirtyPrefixOnly(t *testing.T) {
+	b := Get(1 << 12)
+	for i := 0; i < 100; i++ {
+		b[i] = 0xff
+	}
+	Put(b, 100)
+	// The recycled buffer (whether we get the same one back or not) must be
+	// fully zero again.
+	for round := 0; round < 4; round++ {
+		c := Get(1 << 12)
+		for i := range c {
+			if c[i] != 0 {
+				t.Fatalf("round %d: recycled buffer dirty at %d", round, i)
+			}
+		}
+		c[len(c)-1] = 1
+		Put(c, len(c))
+	}
+}
+
+func TestPutClampsOversizedDirty(t *testing.T) {
+	b := Get(64)
+	Put(b, 1<<20) // must not panic
+}
+
+func TestZeroSize(t *testing.T) {
+	if b := Get(0); b != nil {
+		t.Fatal("Get(0) != nil")
+	}
+	Put(nil, 10) // no-op
+}
+
+func TestDistinctSizesDoNotMix(t *testing.T) {
+	a := Get(128)
+	Put(a, 0)
+	b := Get(256)
+	if len(b) != 256 {
+		t.Fatalf("got %d-byte buffer from 256 pool", len(b))
+	}
+	Put(b, 0)
+}

@@ -133,6 +133,15 @@ func (b *Broker) Stats() (requests, rdmaProduces, emptyFetches uint64) {
 	return b.statRequests, b.statRDMAProduces, b.statEmptyFetches
 }
 
+// release returns all partition storage to the buffer pool (Cluster.Release).
+func (b *Broker) release() {
+	for _, ts := range b.topics {
+		for _, pt := range ts.parts {
+			pt.releaseStorage()
+		}
+	}
+}
+
 func (b *Broker) start() {
 	ln, err := b.host.Listen(TCPPort)
 	if err != nil {

@@ -106,6 +106,17 @@ func (c *Cluster) AddBrokers(n int) {
 // Brokers returns all brokers.
 func (c *Cluster) Brokers() []*Broker { return c.brokers }
 
+// Release returns every partition's segment buffers to the shared buffer
+// pool. Call only after the simulation has shut down (no process may still
+// read or write log storage); the cluster is unusable afterwards. Benchmark
+// rigs call this between data points so segment "files" are recycled rather
+// than reallocated (and re-zeroed) per point.
+func (c *Cluster) Release() {
+	for _, b := range c.brokers {
+		b.release()
+	}
+}
+
 // broker returns the broker with the given id (panics on unknown ids —
 // metadata and broker ids come from the same controller).
 func (c *Cluster) broker(id string) *Broker {

@@ -110,6 +110,19 @@ func (pt *Partition) dropWriteMR(segID int) {
 	}
 }
 
+// releaseStorage returns the partition's segment buffers to the shared pool
+// once the owning simulation has shut down. RDMA write grants bypass the
+// log's append position, so each cached write MR's high-water mark is folded
+// into its segment before the log computes dirty extents.
+func (pt *Partition) releaseStorage() {
+	for segID, mr := range pt.segWriteMRs {
+		if seg := pt.log.Segment(segID); seg != nil {
+			seg.NoteDirty(mr.Touched())
+		}
+	}
+	pt.log.Release()
+}
+
 // dropReadMR drops a segment's read registration (consumer ReleaseFile).
 func (pt *Partition) dropReadMR(segID int) {
 	if mr, ok := pt.segReadMRs[segID]; ok {

@@ -496,6 +496,9 @@ func (b *Broker) produceViaSharedFileAsync(p *sim.Proc, pt *Partition, f *rdmaFi
 	entry := &produceEntry{order: order, size: len(data), req: req}
 	if offset+int64(len(data)) <= int64(seg.Capacity()) {
 		copy(seg.Bytes()[offset:], data)
+		// This copy bypasses both the log append position and the RNIC's MR
+		// write tracking; record it so buffer recycling re-zeroes it.
+		seg.NoteDirty(int(offset) + len(data))
 	}
 	b.deliverShared(p, f, entry)
 	pt.release()

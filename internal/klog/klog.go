@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"kafkadirect/internal/bufpool"
 	"kafkadirect/internal/krecord"
 )
 
@@ -54,6 +55,11 @@ type Segment struct {
 	pos        int  // bytes appended (leader) / replicated (follower)
 	committed  int  // last readable byte: end of last fully-replicated batch
 	sealed     bool // true once a successor segment exists
+	// dirty is the high-water mark of bytes written into buf by paths that
+	// bypass pos (RDMA writes into reservations, shared-file copies); the
+	// effective dirty extent of the segment is max(pos, dirty). Release
+	// zeroes only that prefix before recycling the buffer.
+	dirty int
 
 	// index maps batch boundaries for offset→byte translation.
 	index []indexEntry
@@ -91,6 +97,16 @@ func (s *Segment) Sealed() bool { return s.sealed }
 // Remaining returns the free space after the append position.
 func (s *Segment) Remaining() int { return len(s.buf) - s.pos }
 
+// NoteDirty records that bytes up to end were written into the segment
+// buffer by a path the log itself does not see (an RNIC write into a
+// reservation, a direct copy into a shared-access region). Release depends
+// on it to know how much of a recycled buffer needs re-zeroing.
+func (s *Segment) NoteDirty(end int) {
+	if end > s.dirty {
+		s.dirty = end
+	}
+}
+
 // Log is a topic partition's storage: a list of segments, the last of which
 // is the mutable head.
 type Log struct {
@@ -116,7 +132,9 @@ func (l *Log) addSegment() *Segment {
 	s := &Segment{
 		id:         len(l.segments),
 		baseOffset: l.nextOffset,
-		buf:        make([]byte, l.cfg.SegmentSize),
+		// Pooled and guaranteed zeroed: preallocating a segment "file" must
+		// not cost a fresh multi-MiB clear per benchmark data point.
+		buf: bufpool.Get(l.cfg.SegmentSize),
 	}
 	l.segments = append(l.segments, s)
 	return s
@@ -382,6 +400,24 @@ func (l *Log) readUpTo(offset int64, maxBytes int, limit int64) ([]byte, error) 
 		return nil, nil
 	}
 	return seg.buf[start:end], nil
+}
+
+// Release returns every segment buffer to the shared pool, zeroing each
+// one's dirty prefix. The log must not be used afterwards, and no writer (in
+// particular no simulated RNIC) may still hold a reference to the buffers —
+// callers release only after the owning simulation has shut down. Callers
+// that granted RDMA access must first fold each region's write high-water
+// mark into the segment via NoteDirty.
+func (l *Log) Release() {
+	for _, s := range l.segments {
+		dirty := s.pos
+		if s.dirty > dirty {
+			dirty = s.dirty
+		}
+		bufpool.Put(s.buf, dirty)
+		s.buf = nil
+	}
+	l.segments = nil
 }
 
 // BytesTotal reports total appended bytes across segments (diagnostics).

@@ -221,6 +221,10 @@ type MR struct {
 	rkey   uint32
 	access Access
 	valid  bool
+	// touched is the high-water mark (in bytes from the region start) of
+	// remote writes and atomics into the region. Buffer-recycling callers
+	// use it to zero only the dirty prefix of a region before reuse.
+	touched int
 }
 
 // RegisterMR registers buf for the given access and returns the MR. This is
@@ -274,21 +278,33 @@ func (mr *MR) Len() int { return len(mr.buf) }
 // Bytes exposes the registered buffer (local access).
 func (mr *MR) Bytes() []byte { return mr.buf }
 
-// resolve maps (rkey, addr, length) to a sub-slice of a registered region,
-// checking bounds and access rights.
-func (d *Device) resolve(rkey uint32, addr uint64, length int, need Access) ([]byte, Status) {
+// Touched reports the high-water mark of remote writes and atomics into the
+// region: every byte the RNIC may have mutated lies in Bytes()[:Touched()].
+// Local (CPU) writes to the backing slice are not observed here.
+func (mr *MR) Touched() int { return mr.touched }
+
+// noteWrite records that [addr, addr+length) of the region was mutated.
+func (mr *MR) noteWrite(addr uint64, length int) {
+	if end := int(addr-mr.addr) + length; end > mr.touched {
+		mr.touched = end
+	}
+}
+
+// resolve maps (rkey, addr, length) to the owning MR and a sub-slice of its
+// registered region, checking bounds and access rights.
+func (d *Device) resolve(rkey uint32, addr uint64, length int, need Access) (*MR, []byte, Status) {
 	mr, ok := d.mrs[rkey]
 	if !ok || !mr.valid {
-		return nil, StatusRemoteAccessErr
+		return nil, nil, StatusRemoteAccessErr
 	}
 	if mr.access&need == 0 {
-		return nil, StatusRemoteAccessErr
+		return nil, nil, StatusRemoteAccessErr
 	}
 	if addr < mr.addr || addr+uint64(length) > mr.addr+uint64(len(mr.buf)) {
-		return nil, StatusRemoteAccessErr
+		return nil, nil, StatusRemoteAccessErr
 	}
 	off := addr - mr.addr
-	return mr.buf[off : off+uint64(length)], StatusOK
+	return mr, mr.buf[off : off+uint64(length)], StatusOK
 }
 
 func (d *Device) atomicUnit(addr uint64) *sim.Pacer {
@@ -594,12 +610,13 @@ func (qp *QP) execAtResponder(wr SendWR, size int) {
 		})
 
 	case OpWrite, OpWriteImm:
-		dst, status := rdev.resolve(wr.RKey, wr.RemoteAddr, size, AccessRemoteWrite)
+		mr, dst, status := rdev.resolve(wr.RKey, wr.RemoteAddr, size, AccessRemoteWrite)
 		if status != StatusOK {
 			qp.complete(wr, CQE{Status: status})
 			remote.fail("remote access error on write")
 			return
 		}
+		mr.noteWrite(wr.RemoteAddr, size)
 		var rqe *RQE
 		if wr.Op == OpWriteImm {
 			// WriteWithImm consumes a receive (buffer unused) so that the
@@ -627,7 +644,7 @@ func (qp *QP) execAtResponder(wr SendWR, size int) {
 		})
 
 	case OpRead:
-		src, status := rdev.resolve(wr.RKey, wr.RemoteAddr, size, AccessRemoteRead)
+		_, src, status := rdev.resolve(wr.RKey, wr.RemoteAddr, size, AccessRemoteRead)
 		if status != StatusOK {
 			qp.complete(wr, CQE{Status: status})
 			remote.fail("remote access error on read")
@@ -645,7 +662,7 @@ func (qp *QP) execAtResponder(wr SendWR, size int) {
 		})
 
 	case OpCompSwap, OpFetchAdd:
-		word, status := rdev.resolve(wr.RKey, wr.RemoteAddr, 8, AccessRemoteAtomic)
+		amr, word, status := rdev.resolve(wr.RKey, wr.RemoteAddr, 8, AccessRemoteAtomic)
 		if status != StatusOK || wr.RemoteAddr%8 != 0 {
 			if status == StatusOK {
 				status = StatusRemoteAccessErr
@@ -654,6 +671,7 @@ func (qp *QP) execAtResponder(wr SendWR, size int) {
 			remote.fail("remote access error on atomic")
 			return
 		}
+		amr.noteWrite(wr.RemoteAddr, 8)
 		// Atomics serialise on a per-address execution unit — the paper's
 		// 2.68 Mreq/s single-counter throughput limit (§4.2.2).
 		unit := rdev.atomicUnit(wr.RemoteAddr)

@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -31,6 +30,9 @@ type Env struct {
 	now    Time
 	events eventHeap
 	seq    uint64
+	// executed counts dispatched events (timer callbacks and process
+	// resumptions); the benchmark harness reads it to report events/sec.
+	executed uint64
 
 	yield   chan struct{} // running process -> scheduler: "I blocked or exited"
 	stopped bool
@@ -64,7 +66,8 @@ func (e *Env) Now() Time { return e.now }
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
 // event is a scheduled occurrence: either resume a parked process or invoke
-// an inline callback (which must not block).
+// an inline callback (which must not block). Inline callbacks are the fast
+// path: the scheduler invokes them directly, with no goroutine handoff.
 type event struct {
 	at   Time
 	seq  uint64
@@ -72,21 +75,82 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// before orders events by time, then by insertion sequence (determinism).
+func (ev *event) before(o *event) bool {
+	return ev.at < o.at || (ev.at == o.at && ev.seq < o.seq)
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+
+// eventHeap is a concrete 4-ary min-heap of event values. Unlike
+// container/heap it never boxes events into interface values, so pushing and
+// popping allocate nothing (beyond amortised slice growth). A 4-ary layout
+// halves the tree depth of a binary heap, trading slightly wider sibling
+// scans — a win for the short, hot comparisons here.
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) push(ev event) {
+	h.a = append(h.a, ev)
+	a := h.a
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.before(&a[p]) {
+			break
+		}
+		a[i] = a[p]
+		i = p
+	}
+	a[i] = ev
+}
+
+func (h *eventHeap) pop() event {
+	a := h.a
+	root := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = event{} // clear the vacated slot so proc/fn become collectable
+	h.a = a[:n]
+	if n > 0 {
+		h.siftDown(last)
+	}
+	return root
+}
+
+// siftDown places ev, displaced from the tail, into the root's subtree.
+func (h *eventHeap) siftDown(ev event) {
+	a := h.a
+	n := len(a)
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if a[j].before(&a[m]) {
+				m = j
+			}
+		}
+		if !a[m].before(&ev) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = ev
+}
+
 func (e *Env) push(at Time, p *Proc, fn func()) {
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, proc: p, fn: fn})
 }
 
 // At schedules fn to run inline (in scheduler context, without a process) at
@@ -208,8 +272,7 @@ func (p *Proc) parkTimeout(d Time, cancel func()) (timedOut bool) {
 		}
 		cancel()
 		p.waitToken++
-		e.seq++
-		heap.Push(&e.events, event{at: e.now, seq: e.seq, proc: p, fn: nil})
+		e.push(e.now, p, nil)
 		p.timedOut = true
 	})
 	return p.park()
@@ -238,17 +301,19 @@ func (e *Env) Run() { e.RunUntil(-1) }
 // exactly deadline still run.
 func (e *Env) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
-		if deadline >= 0 && ev.at > deadline {
-			heap.Push(&e.events, ev)
+	for e.events.len() > 0 && !e.stopped {
+		if deadline >= 0 && e.events.a[0].at > deadline {
 			e.now = deadline
 			return
 		}
+		ev := e.events.pop()
 		if ev.at > e.now {
 			e.now = ev.at
 		}
+		e.executed++
 		if ev.fn != nil {
+			// Inline fast path: timer/At callbacks run in scheduler context
+			// with no goroutine handoff.
 			ev.fn()
 			continue
 		}
@@ -280,11 +345,16 @@ func (e *Env) Shutdown() {
 		<-e.yield
 	}
 	e.procs = nil
-	e.events = nil
+	e.events = eventHeap{}
 }
 
 // Pending reports the number of scheduled events (diagnostic).
-func (e *Env) Pending() int { return len(e.events) }
+func (e *Env) Pending() int { return e.events.len() }
+
+// Executed reports the total number of events dispatched by Run/RunUntil so
+// far (timer callbacks and process resumptions). The benchmark harness sums
+// it across environments to report simulator events/sec.
+func (e *Env) Executed() uint64 { return e.executed }
 
 // Live reports the number of spawned processes that have not exited.
 func (e *Env) Live() int { return e.live }
@@ -356,51 +426,83 @@ func (c *Cond) Waiting() int { return len(c.waiters) }
 
 // Queue is an unbounded FIFO queue of T with blocking receive. It is the
 // building block for request queues, completion queues, and message inboxes.
+//
+// Storage is a power-of-two ring buffer: popping advances a head index
+// instead of re-slicing, so popped memory is neither retained nor does the
+// backing array creep forward and reallocate. Vacated slots are zeroed so
+// popped payloads become garbage-collectable immediately.
 type Queue[T any] struct {
-	items []T
-	cond  Cond
+	buf  []T // len(buf) is always zero or a power of two
+	head int // index of the oldest item
+	n    int // number of queued items
+	cond Cond
 }
 
 // NewQueue returns an empty queue.
 func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.n }
+
+// grow doubles the ring, linearising the current contents at index 0.
+func (q *Queue[T]) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]T, newCap)
+	if q.n > 0 {
+		tail := copy(nb, q.buf[q.head:])
+		copy(nb[tail:], q.buf[:q.head])
+	}
+	q.buf = nb
+	q.head = 0
+}
 
 // Push appends an item and wakes one waiting receiver. It never blocks and is
 // callable from inline events as well as processes.
 func (q *Queue[T]) Push(v T) {
-	q.items = append(q.items, v)
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
 	q.cond.Signal()
+}
+
+// pop removes and returns the head item; the queue must be non-empty.
+func (q *Queue[T]) pop() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v
 }
 
 // TryPop removes and returns the head item without blocking.
 func (q *Queue[T]) TryPop() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
+		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.pop(), true
 }
 
 // Pop blocks the calling process until an item is available, then removes and
 // returns the head item.
 func (q *Queue[T]) Pop(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.n == 0 {
 		q.cond.Wait(p)
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v
+	return q.pop()
 }
 
 // PopTimeout is Pop with a timeout. ok is false if the timeout elapsed first.
 // d < 0 waits forever.
 func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
 	deadline := p.env.now + d
-	for len(q.items) == 0 {
+	for q.n == 0 {
 		if d < 0 {
 			q.cond.Wait(p)
 			continue
@@ -411,9 +513,7 @@ func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
 			return zero, false
 		}
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.pop(), true
 }
 
 // ---------------------------------------------------------------------------

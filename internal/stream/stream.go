@@ -98,6 +98,9 @@ type Result struct {
 	P99     time.Duration
 	Max     time.Duration
 	Buckets []Bucket // per-second mean delay, for the time-series view
+	// SimEvents is the number of simulator events the run executed
+	// (performance accounting, not part of the delay distribution).
+	SimEvents uint64
 }
 
 // Bucket is one second of the run.
@@ -200,8 +203,11 @@ func Run(cfg Config) Result {
 	})
 	env.RunUntil(cfg.Duration + time.Second)
 	env.Shutdown()
+	cl.Release() // recycle segment buffers; the cluster is done
 
-	return summarise(delays, bucketSum, bucketN)
+	res := summarise(delays, bucketSum, bucketN)
+	res.SimEvents = env.Executed()
+	return res
 }
 
 func topicName(i int) string { return fmt.Sprintf("iot-%d", i) }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, vet, build, and the full test suite
+# under the race detector. Run from anywhere; exits non-zero on the first
+# failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt required for:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "all checks passed"
