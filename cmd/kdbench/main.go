@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -43,6 +44,10 @@ type jsonFigure struct {
 	Events        uint64  `json:"events"`
 	EventsPerSec  float64 `json:"events_per_sec"`
 	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	// Allocs/AllocBytes are process-wide allocation deltas while the figure
+	// ran: exact at workers=1, an upper bound when figures run concurrently.
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
 }
 
 func main() {
@@ -50,7 +55,40 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "number of parallel benchmark workers (1 = sequential)")
 	jsonOut := flag.Bool("json", false, "write per-figure perf metrics to BENCH_figs.json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kdbench: create cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kdbench: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kdbench: create mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live + cumulative allocs
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "kdbench: write mem profile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -93,6 +131,8 @@ func main() {
 				Events:        r.Events,
 				EventsPerSec:  r.EventsPerSec(),
 				PeakHeapBytes: r.PeakHeap,
+				Allocs:        r.Allocs,
+				AllocBytes:    r.AllocBytes,
 			})
 		}
 		data, err := json.MarshalIndent(report, "", "  ")

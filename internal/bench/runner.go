@@ -21,6 +21,13 @@ import (
 type Stats struct {
 	events   atomic.Uint64
 	peakHeap atomic.Uint64
+
+	// allocs/allocBytes are process-wide allocation deltas bracketing the
+	// experiment, filled in once by runExperiment. Exact with workers=1;
+	// with a parallel pool, concurrently running experiments share the
+	// process counters, so treat them as an upper bound per figure.
+	allocs     uint64
+	allocBytes uint64
 }
 
 // AddEvents adds n executed simulator events (rigs call this at teardown).
@@ -58,12 +65,14 @@ func (s *Stats) PeakHeap() uint64 {
 
 // Result is one experiment's reproduced table plus its execution metrics.
 type Result struct {
-	ID       string
-	Title    string
-	Table    *Table
-	Wall     time.Duration
-	Events   uint64 // simulator events executed
-	PeakHeap uint64 // peak heap bytes sampled while active
+	ID         string
+	Title      string
+	Table      *Table
+	Wall       time.Duration
+	Events     uint64 // simulator events executed
+	PeakHeap   uint64 // peak heap bytes sampled while active
+	Allocs     uint64 // heap allocations during the run (see Stats)
+	AllocBytes uint64 // bytes allocated during the run (see Stats)
 }
 
 // EventsPerSec is the wall-clock event rate of the run.
@@ -252,16 +261,23 @@ func runExperiment(e Experiment) Result {
 		activeMu.Unlock()
 	}()
 	sampleHeap() // bracket the run even if it outpaces the ticker
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	tbl := e.run(st)
 	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	st.allocs = m1.Mallocs - m0.Mallocs
+	st.allocBytes = m1.TotalAlloc - m0.TotalAlloc
 	sampleHeap()
 	return Result{
-		ID:       e.ID,
-		Title:    e.Title,
-		Table:    tbl,
-		Wall:     wall,
-		Events:   st.Events(),
-		PeakHeap: st.PeakHeap(),
+		ID:         e.ID,
+		Title:      e.Title,
+		Table:      tbl,
+		Wall:       wall,
+		Events:     st.Events(),
+		PeakHeap:   st.PeakHeap(),
+		Allocs:     st.allocs,
+		AllocBytes: st.allocBytes,
 	}
 }

@@ -56,3 +56,86 @@ func Put(buf []byte, dirty int) {
 	}
 	poolFor(len(buf)).Put(buf[:len(buf):len(buf)])
 }
+
+// ---------------------------------------------------------------------------
+// Wire-buffer free lists
+// ---------------------------------------------------------------------------
+
+// List is a size-classed free list for short-lived wire buffers: modeled
+// kernel copies, RDMA staging buffers, encoded RPC frames. It differs from
+// the package-level pool in two deliberate ways:
+//
+//   - Buffers are NOT zeroed on Get. Wire buffers are always fully
+//     overwritten (a copy or an encode of exactly len bytes) before anyone
+//     reads them, so re-zeroing would be pure overhead. Callers must write
+//     every byte of the returned buffer before handing it to a reader.
+//   - It is not safe for concurrent use. Each simulation environment owns
+//     its own List (reached through fabric.Network), and a simulation runs
+//     exactly one process at a time, so no locking is needed even when the
+//     benchmark harness runs many simulations on parallel OS threads.
+//
+// Capacities are rounded up to powers of two between minClass and maxClass;
+// requests larger than maxClass fall through to plain make and are dropped
+// on Put.
+type List struct {
+	classes [listClasses][][]byte
+}
+
+const (
+	listMinBits = 6  // smallest class: 64 B
+	listMaxBits = 24 // largest class: 16 MiB
+	listClasses = listMaxBits - listMinBits + 1
+)
+
+// listClass returns the class index whose capacity (1 << (listMinBits+c))
+// holds n bytes, or -1 if n is too large to pool.
+func listClass(n int) int {
+	c := 0
+	for n > 1<<(listMinBits+c) {
+		c++
+		if c >= listClasses {
+			return -1
+		}
+	}
+	return c
+}
+
+// Get returns a buffer of length n whose contents are UNSPECIFIED — the
+// caller must overwrite all n bytes before any reader sees them. A nil *List
+// degrades to plain allocation.
+func (l *List) Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	c := listClass(n)
+	if l == nil || c < 0 {
+		return make([]byte, n)
+	}
+	if s := l.classes[c]; len(s) > 0 {
+		buf := s[len(s)-1]
+		s[len(s)-1] = nil
+		l.classes[c] = s[:len(s)-1]
+		return buf[:n]
+	}
+	return make([]byte, n, 1<<(listMinBits+c))
+}
+
+// Put recycles a buffer previously handed out by Get. The caller must not
+// retain any reference to buf — a later Get may hand it to someone else.
+// Buffers whose capacity is not poolable are dropped.
+func (l *List) Put(buf []byte) {
+	if l == nil {
+		return
+	}
+	c := cap(buf)
+	if c < 1<<listMinBits || c > 1<<listMaxBits {
+		return
+	}
+	// File under the largest class the capacity fully covers, so a Get on
+	// that class can always slice to the class's nominal size.
+	cls := 0
+	for cls+1 < listClasses && 1<<(listMinBits+cls+1) <= c {
+		cls++
+	}
+	l.classes[cls] = append(l.classes[cls], buf[:0:c])
+}

@@ -145,10 +145,16 @@ func (e *Endpoint) crcTime(n int) time.Duration {
 // TCP stack and the OSU two-sided RDMA stack implement it, which is exactly
 // the paper's point: OSU Kafka swaps the transport but keeps the RPC shape.
 type Transport interface {
-	// Send transmits a request frame, charging client send-side costs.
+	// Send transmits a request frame, charging client send-side costs. The
+	// frame is copied (or fully consumed) before Send returns, so callers
+	// may reuse its buffer immediately.
 	Send(p *sim.Proc, frame []byte) error
 	// Recv returns the next response frame, charging client receive costs.
 	Recv(p *sim.Proc) ([]byte, error)
+	// Recycle hands a frame returned by Recv back to the transport's buffer
+	// pool. Optional; callers that decode and drop frames use it to keep the
+	// receive path allocation-free.
+	Recycle(buf []byte)
 	// Close releases the transport.
 	Close()
 }
@@ -169,6 +175,7 @@ func NewTCPTransport(p *sim.Proc, e *Endpoint, broker *core.Broker) (Transport, 
 
 func (t *tcpTransport) Send(p *sim.Proc, frame []byte) error { return t.conn.Send(p, frame) }
 func (t *tcpTransport) Recv(p *sim.Proc) ([]byte, error)     { return t.conn.Recv(p) }
+func (t *tcpTransport) Recycle(buf []byte)                   { t.conn.Recycle(buf) }
 func (t *tcpTransport) Close()                               { t.conn.Close() }
 
 // osuTransport carries frames in RDMA Sends, through pre-registered receive
@@ -219,10 +226,12 @@ func (t *osuTransport) Recv(p *sim.Proc) ([]byte, error) {
 		return nil, fmt.Errorf("client: OSU transport failed: %v", cqe.Status)
 	}
 	p.Sleep(t.e.cfg.OSURecvCost + t.e.copyTime(cqe.ByteLen))
-	frame := make([]byte, cqe.ByteLen)
+	frame := t.e.node.Network().WireBufs().Get(cqe.ByteLen)
 	copy(frame, t.bufs[cqe.WRID][:cqe.ByteLen])
 	_ = t.qp.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: t.bufs[cqe.WRID]})
 	return frame, nil
 }
+
+func (t *osuTransport) Recycle(buf []byte) { t.e.node.Network().WireBufs().Put(buf) }
 
 func (t *osuTransport) Close() { t.qp.Disconnect() }

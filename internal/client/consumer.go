@@ -43,6 +43,13 @@ type RPCConsumer struct {
 	// anti-batching setting of the paper's Fig. 20.
 	MaxBytesOverride int
 	closed           bool
+
+	// Reusable encode/decode state for the poll loop. respMsg.Data is set to
+	// nil whenever records escape to the caller (they alias it), so only the
+	// empty-fetch steady state is fully allocation-free.
+	enc     kwire.Scratch
+	reqMsg  kwire.FetchReq
+	respMsg kwire.FetchResp
 }
 
 // NewTCPConsumer dials the partition leader over TCP.
@@ -85,7 +92,7 @@ func (c *RPCConsumer) Poll(p *sim.Proc) ([]krecord.Record, error) {
 	if c.MaxBytesOverride > 0 {
 		maxBytes = c.MaxBytesOverride
 	}
-	req := &kwire.FetchReq{
+	c.reqMsg = kwire.FetchReq{
 		Topic:         c.topic,
 		Partition:     c.part,
 		Offset:        c.offset,
@@ -93,21 +100,22 @@ func (c *RPCConsumer) Poll(p *sim.Proc) ([]krecord.Record, error) {
 		MaxWaitMicros: wait,
 		ReplicaID:     -1,
 	}
-	if err := c.t.Send(p, kwire.Encode(c.corr, req)); err != nil {
+	if err := c.t.Send(p, c.enc.Encode(c.corr, &c.reqMsg)); err != nil {
 		return nil, err
 	}
 	raw, err := c.t.Recv(p)
 	if err != nil {
 		return nil, err
 	}
-	_, msg, err := kwire.Decode(raw)
+	_, err = kwire.DecodeInto(raw, &c.respMsg)
+	c.t.Recycle(raw)
+	if err == kwire.ErrKindMismatch {
+		return nil, fmt.Errorf("client: unexpected fetch response kind")
+	}
 	if err != nil {
 		return nil, err
 	}
-	resp, ok := msg.(*kwire.FetchResp)
-	if !ok {
-		return nil, fmt.Errorf("client: unexpected fetch response %T", msg)
-	}
+	resp := &c.respMsg
 	if resp.Err != kwire.ErrNone {
 		return nil, resp.Err.Err()
 	}
@@ -117,6 +125,9 @@ func (c *RPCConsumer) Poll(p *sim.Proc) ([]krecord.Record, error) {
 	}
 	p.Sleep(c.e.crcTime(len(resp.Data)))
 	var out []krecord.Record
+	// The returned records alias resp.Data; drop the buffer so the next
+	// decode allocates a fresh one instead of overwriting escaped memory.
+	defer func() { c.respMsg.Data = nil }()
 	if _, err := krecord.Scan(resp.Data, func(b krecord.Batch) error {
 		if err := b.Validate(); err != nil {
 			return err
@@ -144,21 +155,22 @@ func (c *RPCConsumer) Position() int64 { return c.offset }
 // CommitOffset records the consumer's progress at the broker (§5.4).
 func (c *RPCConsumer) CommitOffset(p *sim.Proc) error {
 	c.corr++
-	req := &kwire.OffsetCommitReq{Group: c.group, Topic: c.topic, Partition: c.part, Offset: c.offset}
-	if err := c.t.Send(p, kwire.Encode(c.corr, req)); err != nil {
+	req := kwire.OffsetCommitReq{Group: c.group, Topic: c.topic, Partition: c.part, Offset: c.offset}
+	if err := c.t.Send(p, c.enc.Encode(c.corr, &req)); err != nil {
 		return err
 	}
 	raw, err := c.t.Recv(p)
 	if err != nil {
 		return err
 	}
-	_, msg, err := kwire.Decode(raw)
+	var resp kwire.OffsetCommitResp
+	_, err = kwire.DecodeInto(raw, &resp)
+	c.t.Recycle(raw)
+	if err == kwire.ErrKindMismatch {
+		return fmt.Errorf("client: unexpected commit response kind")
+	}
 	if err != nil {
 		return err
-	}
-	resp, ok := msg.(*kwire.OffsetCommitResp)
-	if !ok {
-		return fmt.Errorf("client: unexpected commit response %T", msg)
 	}
 	return resp.Err.Err()
 }

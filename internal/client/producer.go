@@ -54,6 +54,15 @@ type RPCProducer struct {
 	receiver bool // async receiver process started
 	syncUsed bool
 	closed   bool
+
+	// Reusable encode/decode state for the steady-state produce loop: the
+	// batch builder, the request message, the frame scratch (Transport.Send
+	// consumes the frame before returning), and the decoded ack. The ack
+	// scratch is only touched by whichever of Produce/ackLoop is in use.
+	builder *krecord.Builder
+	reqMsg  kwire.ProduceReq
+	enc     kwire.Scratch
+	ackMsg  kwire.ProduceResp
 }
 
 // NewRPCProducer builds a producer for one partition over an established
@@ -91,13 +100,32 @@ func NewOSUProducer(p *sim.Proc, e *Endpoint, topic string, part int32, acks int
 // buildBatch encodes records, charging the producer-side defensive copy
 // ("the producer API makes a copy of user data to prevent mutation of it
 // during transmission", §5.1).
+// The returned slice belongs to the producer's reusable builder and is valid
+// until the next buildBatch call — long enough to encode it into the request
+// frame.
 func (pr *RPCProducer) buildBatch(p *sim.Proc, recs []krecord.Record) ([]byte, error) {
-	batch, err := krecord.Encode(pr.producerID, recs...)
+	if pr.builder == nil {
+		pr.builder = krecord.NewBuilder(pr.producerID)
+	}
+	pr.builder.Reset()
+	for _, r := range recs {
+		if err := pr.builder.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	batch, err := pr.builder.Bytes()
 	if err != nil {
 		return nil, err
 	}
 	p.Sleep(pr.e.cfg.ProduceCPU + pr.e.copyTime(len(batch)))
 	return batch, nil
+}
+
+// encodeProduce builds the produce frame in the producer's scratch buffer.
+func (pr *RPCProducer) encodeProduce(batch []byte) []byte {
+	pr.corr++
+	pr.reqMsg = kwire.ProduceReq{Topic: pr.topic, Partition: pr.part, Acks: pr.acks, Batch: batch}
+	return pr.enc.Encode(pr.corr, &pr.reqMsg)
 }
 
 // Produce sends one produce request and waits for the acknowledgement.
@@ -113,28 +141,26 @@ func (pr *RPCProducer) Produce(p *sim.Proc, recs ...krecord.Record) (int64, erro
 	if err != nil {
 		return 0, err
 	}
-	pr.corr++
-	frame := kwire.Encode(pr.corr, &kwire.ProduceReq{Topic: pr.topic, Partition: pr.part, Acks: pr.acks, Batch: batch})
-	if err := pr.t.Send(p, frame); err != nil {
+	if err := pr.t.Send(p, pr.encodeProduce(batch)); err != nil {
 		return 0, err
 	}
 	raw, err := pr.t.Recv(p)
 	if err != nil {
 		return 0, err
 	}
-	_, msg, err := kwire.Decode(raw)
+	_, err = kwire.DecodeInto(raw, &pr.ackMsg)
+	pr.t.Recycle(raw)
+	if err == kwire.ErrKindMismatch {
+		return 0, fmt.Errorf("client: unexpected response kind")
+	}
 	if err != nil {
 		return 0, err
 	}
-	resp, ok := msg.(*kwire.ProduceResp)
-	if !ok {
-		return 0, fmt.Errorf("client: unexpected response %T", msg)
-	}
 	p.Sleep(pr.e.cfg.ProduceWakeup)
-	if resp.Err != kwire.ErrNone {
-		return 0, resp.Err.Err()
+	if pr.ackMsg.Err != kwire.ErrNone {
+		return 0, pr.ackMsg.Err.Err()
 	}
-	return resp.BaseOffset, nil
+	return pr.ackMsg.BaseOffset, nil
 }
 
 // ProduceAsync pipelines produce requests up to the in-flight window.
@@ -159,9 +185,7 @@ func (pr *RPCProducer) ProduceAsync(p *sim.Proc, recs ...krecord.Record) error {
 	if err != nil {
 		return err
 	}
-	pr.corr++
-	frame := kwire.Encode(pr.corr, &kwire.ProduceReq{Topic: pr.topic, Partition: pr.part, Acks: pr.acks, Batch: batch})
-	if err := pr.t.Send(p, frame); err != nil {
+	if err := pr.t.Send(p, pr.encodeProduce(batch)); err != nil {
 		return err
 	}
 	pr.inflight++
@@ -178,11 +202,10 @@ func (pr *RPCProducer) ackLoop(p *sim.Proc) {
 			pr.window.Broadcast()
 			return
 		}
-		_, msg, err := kwire.Decode(raw)
-		if err == nil {
-			if resp, ok := msg.(*kwire.ProduceResp); ok && resp.Err != kwire.ErrNone && pr.asyncErr == nil {
-				pr.asyncErr = resp.Err.Err()
-			}
+		_, err = kwire.DecodeInto(raw, &pr.ackMsg)
+		pr.t.Recycle(raw)
+		if err == nil && pr.ackMsg.Err != kwire.ErrNone && pr.asyncErr == nil {
+			pr.asyncErr = pr.ackMsg.Err.Err()
 		}
 		if pr.inflight > 0 {
 			pr.inflight--
@@ -267,6 +290,9 @@ type RDMAProducer struct {
 
 	// faaBuf receives old atomic values in shared mode.
 	faaBuf []byte
+	// ackMsg is the reusable decoded acknowledgement (recvAck's result is
+	// consumed before the next recvAck call).
+	ackMsg kwire.ProduceResp
 }
 
 // NewRDMAProducer establishes QPs and requests RDMA produce access in the
@@ -456,16 +482,17 @@ func (pr *RDMAProducer) recvAck(p *sim.Proc) (*kwire.ProduceResp, error) {
 		return nil, fmt.Errorf("client: producer QP failed: %v", cqe.Status)
 	}
 	buf := pr.ackBufs[cqe.WRID]
-	_, msg, err := kwire.Decode(append([]byte(nil), buf[:cqe.ByteLen]...))
+	// Decode before reposting the receive: decoding copies every byte field,
+	// so the buffer can go straight back to the RQ.
+	_, err := kwire.DecodeInto(buf[:cqe.ByteLen], &pr.ackMsg)
 	_ = pr.qp.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: buf})
+	if err == kwire.ErrKindMismatch {
+		return nil, fmt.Errorf("client: unexpected ack kind")
+	}
 	if err != nil {
 		return nil, err
 	}
-	resp, ok := msg.(*kwire.ProduceResp)
-	if !ok {
-		return nil, fmt.Errorf("client: unexpected ack %T", msg)
-	}
-	return resp, nil
+	return &pr.ackMsg, nil
 }
 
 // Produce writes one batch and waits for the broker's acknowledgement.

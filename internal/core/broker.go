@@ -36,7 +36,26 @@ type Broker struct {
 	rdmaCQ  *rdma.CQ      // shared completion queue for broker-side QPs
 
 	topics  map[string]*topicState
-	offsets map[string]int64
+	offsets map[offsetID]int64
+
+	// Free lists for the steady-state datapath: requests, responses, and
+	// decoded request messages (per wire kind). A simulation runs one
+	// process at a time, so plain slices need no locking.
+	reqFree  []*request
+	respFree []*response
+	msgFree  [kwire.KindOffsetFetchResp + 1][]kwire.Message
+
+	// Scratch response messages: respond/respondZC and sendAck encode
+	// synchronously, so one instance per hot kind is reused across all
+	// handlers instead of allocating a literal per response.
+	scratchProduceResp kwire.ProduceResp
+	scratchFetchResp   kwire.FetchResp
+	scratchCommitResp  kwire.OffsetCommitResp
+	scratchOffsetResp  kwire.OffsetFetchResp
+
+	// loopOld is the reusable FAA result buffer for loopback atomics
+	// (produceViaSharedFileAsync); loopRes serialises its users.
+	loopOld []byte
 
 	nextSessionID        uint32
 	producerSessions     map[uint32]*rdmaProducerSession
@@ -62,16 +81,31 @@ type topicState struct {
 }
 
 // request is an entry in the shared request queue (➊/➋ in Figure 2).
+// Requests are pooled (Broker.getRequest/releaseRequest): the steady-state
+// datapath recycles them instead of allocating one per message.
 type request struct {
-	// Exactly one of the following sources is set.
+	b *Broker
+
+	// Exactly one of the following sources is set. The RDMA events are
+	// held by value; `.sess != nil` marks them active.
 	tcp  *tcpnet.Conn
 	osu  *osuSession
-	rdma *rdmaProduceEvent
-	repl *replWriteEvent
+	rdma rdmaProduceEvent
+	repl replWriteEvent
 
 	corr      uint32
 	msg       kwire.Message
 	completed bool
+
+	// Pool lifecycle. gen is bumped on every release so deferred closures
+	// (fetch purgatory wake-ups and timeouts) can detect that "their"
+	// request has been recycled for a new message. queued marks a request
+	// sitting in (or scheduled for) the shared queue; dispatching marks one
+	// inside an API worker's dispatch. The holder that clears the last of
+	// these flags on a completed request returns it to the pool.
+	gen         uint32
+	queued      bool
+	dispatching bool
 }
 
 // response is an entry for the network-side response path.
@@ -102,7 +136,7 @@ func newBroker(c *Cluster, id string) *Broker {
 		rdmaRes:              sim.NewResource(c.cfg.RDMAThreads),
 		loopRes:              sim.NewResource(1),
 		topics:               make(map[string]*topicState),
-		offsets:              make(map[string]int64),
+		offsets:              make(map[offsetID]int64),
 		producerSessions:     make(map[uint32]*rdmaProducerSession),
 		consumerRDMASessions: make(map[uint32]*consumerSession),
 	}
@@ -142,6 +176,85 @@ func (b *Broker) release() {
 	}
 }
 
+// getRequest pops a pooled request (or allocates the pool's first ones).
+func (b *Broker) getRequest() *request {
+	if n := len(b.reqFree); n > 0 {
+		req := b.reqFree[n-1]
+		b.reqFree = b.reqFree[:n-1]
+		return req
+	}
+	return &request{b: b}
+}
+
+// releaseRequest recycles a finished request: its decoded message goes back
+// to the per-kind message pool and its generation is bumped so stale deferred
+// closures recognise the reuse.
+func (b *Broker) releaseRequest(req *request) {
+	if req.msg != nil {
+		b.putMsg(req.msg)
+	}
+	gen := req.gen + 1
+	*req = request{b: b, gen: gen}
+	b.reqFree = append(b.reqFree, req)
+}
+
+// enqueueRequest pushes a request onto its broker's shared queue. It is the
+// AfterArg target for the request hand-off delay: one shared function plus a
+// pooled request instead of a closure per message.
+func enqueueRequest(v any) {
+	req := v.(*request)
+	req.queued = true
+	req.b.reqQ.Push(req)
+}
+
+func (b *Broker) getResponse() *response {
+	if n := len(b.respFree); n > 0 {
+		r := b.respFree[n-1]
+		b.respFree = b.respFree[:n-1]
+		return r
+	}
+	return new(response)
+}
+
+func (b *Broker) putResponse(r *response) {
+	*r = response{}
+	b.respFree = append(b.respFree, r)
+}
+
+// getMsg returns a pooled message struct for a wire kind, or nil for unknown
+// kinds. Decoding overwrites every field, so structs are recycled as-is.
+func (b *Broker) getMsg(k kwire.Kind) kwire.Message {
+	if int(k) >= len(b.msgFree) {
+		return nil
+	}
+	if pool := b.msgFree[k]; len(pool) > 0 {
+		m := pool[len(pool)-1]
+		b.msgFree[k] = pool[:len(pool)-1]
+		return m
+	}
+	return kwire.NewMessage(k)
+}
+
+func (b *Broker) putMsg(m kwire.Message) {
+	k := m.Kind()
+	if int(k) < len(b.msgFree) {
+		b.msgFree[k] = append(b.msgFree[k], m)
+	}
+}
+
+// produceRespMsg and friends fill the broker's scratch response structs.
+// Safe because every consumer (respond, respondZC, sendAck) encodes the
+// message into a frame before yielding control.
+func (b *Broker) produceRespMsg(m kwire.ProduceResp) *kwire.ProduceResp {
+	b.scratchProduceResp = m
+	return &b.scratchProduceResp
+}
+
+func (b *Broker) fetchRespMsg(m kwire.FetchResp) *kwire.FetchResp {
+	b.scratchFetchResp = m
+	return &b.scratchFetchResp
+}
+
 func (b *Broker) start() {
 	ln, err := b.host.Listen(TCPPort)
 	if err != nil {
@@ -176,14 +289,27 @@ func (b *Broker) serveTCPConn(p *sim.Proc, conn *tcpnet.Conn) {
 			return
 		}
 		b.netRes.Use(p, conn.RecvCost(len(raw)))
-		corr, msg, err := kwire.Decode(raw)
-		if err != nil {
-			continue // a real broker logs and drops malformed frames
+		k, ok := kwire.PeekKind(raw)
+		if !ok {
+			conn.Recycle(raw)
+			continue
 		}
-		req := &request{tcp: conn, corr: corr, msg: msg}
+		msg := b.getMsg(k)
+		if msg == nil {
+			conn.Recycle(raw) // a real broker logs and drops malformed frames
+			continue
+		}
+		corr, err := kwire.DecodeInto(raw, msg)
+		conn.Recycle(raw) // decoding copies every byte field out of the frame
+		if err != nil {
+			b.putMsg(msg)
+			continue
+		}
+		req := b.getRequest()
+		req.tcp, req.corr, req.msg = conn, corr, msg
 		// Forwarding to an API worker costs 11 µs of latency (§5.1) but
 		// does not occupy either thread.
-		b.env.After(b.cfg.HandoffDelay, func() { b.reqQ.Push(req) })
+		b.env.AfterArg(b.cfg.HandoffDelay, enqueueRequest, req)
 	}
 }
 
@@ -200,13 +326,15 @@ func (b *Broker) responder(p *sim.Proc) {
 			}
 			b.netRes.Acquire(p)
 			p.Sleep(r.tcp.SendCost(costBytes))
-			err := r.tcp.SendRaw(r.frame)
+			err := r.tcp.SendRaw(r.frame) // SendRaw copies the frame
 			b.netRes.Release()
 			_ = err // peer may have gone away; nothing to do
 		case r.osu != nil:
 			b.rdmaRes.Use(p, b.cfg.OSUSendCost)
-			r.osu.send(r.frame)
+			r.osu.send(r.frame) // send copies the frame
 		}
+		b.node.Network().WireBufs().Put(r.frame)
+		b.putResponse(r)
 	}
 }
 
@@ -216,31 +344,48 @@ func (b *Broker) respond(req *request, msg kwire.Message) {
 }
 
 // respondZC is respond with zeroCopy payload bytes exempted from send cost.
+// The frame is encoded into a recycled wire buffer (the responder returns it
+// to the pool after the send-side copy), and the request is released here if
+// no worker or queue still holds it.
 func (b *Broker) respondZC(req *request, msg kwire.Message, zcBytes int) {
 	if req.completed {
 		return
 	}
 	req.completed = true
-	frame := kwire.Encode(req.corr, msg)
-	b.respQ.Push(&response{tcp: req.tcp, osu: req.osu, frame: frame, zeroCopy: zcBytes})
+	wire := b.node.Network().WireBufs()
+	frame := kwire.AppendEncode(wire.Get(64 + zcBytes)[:0], req.corr, msg)
+	resp := b.getResponse()
+	resp.tcp, resp.osu, resp.frame, resp.zeroCopy = req.tcp, req.osu, frame, zcBytes
+	b.respQ.Push(resp)
+	if !req.dispatching && !req.queued {
+		b.releaseRequest(req)
+	}
 }
 
 // apiWorker drains the shared request queue (➌ in Figure 2).
 func (b *Broker) apiWorker(p *sim.Proc) {
 	for {
 		req := b.reqQ.Pop(p)
+		req.queued = false
 		b.statRequests++
+		req.dispatching = true
 		b.dispatch(p, req)
+		req.dispatching = false
+		if req.completed && !req.queued {
+			b.releaseRequest(req)
+		}
 	}
 }
 
 func (b *Broker) dispatch(p *sim.Proc, req *request) {
 	switch {
-	case req.rdma != nil:
+	case req.rdma.sess != nil:
 		b.handleRDMAProduce(p, req)
+		req.completed = true // acked over the QP, not via respond
 		return
-	case req.repl != nil:
+	case req.repl.sess != nil:
 		b.handleReplicaWrite(p, req)
+		req.completed = true // acked over the QP, not via respond
 		return
 	}
 	switch m := req.msg.(type) {
@@ -260,22 +405,28 @@ func (b *Broker) dispatch(p *sim.Proc, req *request) {
 		b.handleReleaseFile(p, req, m)
 	case *kwire.OffsetCommitReq:
 		p.Sleep(b.cfg.APIFixedCost)
-		b.offsets[offsetKey(m.Group, m.Topic, m.Partition)] = m.Offset
-		b.respond(req, &kwire.OffsetCommitResp{Err: kwire.ErrNone})
+		b.offsets[offsetID{m.Group, m.Topic, m.Partition}] = m.Offset
+		b.scratchCommitResp = kwire.OffsetCommitResp{Err: kwire.ErrNone}
+		b.respond(req, &b.scratchCommitResp)
 	case *kwire.OffsetFetchReq:
 		p.Sleep(b.cfg.APIFixedCost)
-		off, ok := b.offsets[offsetKey(m.Group, m.Topic, m.Partition)]
+		off, ok := b.offsets[offsetID{m.Group, m.Topic, m.Partition}]
 		if !ok {
 			off = -1
 		}
-		b.respond(req, &kwire.OffsetFetchResp{Err: kwire.ErrNone, Offset: off})
+		b.scratchOffsetResp = kwire.OffsetFetchResp{Err: kwire.ErrNone, Offset: off}
+		b.respond(req, &b.scratchOffsetResp)
 	default:
 		// Unknown request kinds are dropped, like unsupported API versions.
+		req.completed = true
 	}
 }
 
-func offsetKey(group, topic string, partition int32) string {
-	return fmt.Sprintf("%s|%s|%d", group, topic, partition)
+// offsetID keys the consumer-offset store without string formatting.
+type offsetID struct {
+	group     string
+	topic     string
+	partition int32
 }
 
 // partition resolves a topic partition hosted on this broker.
@@ -312,11 +463,11 @@ func (b *Broker) rpcByteTime(n int) time.Duration {
 func (b *Broker) handleProduce(p *sim.Proc, req *request, m *kwire.ProduceReq) {
 	pt, ec := b.partition(m.Topic, m.Partition)
 	if ec != kwire.ErrNone {
-		b.respond(req, &kwire.ProduceResp{Err: ec})
+		b.respond(req, b.produceRespMsg(kwire.ProduceResp{Err: ec}))
 		return
 	}
 	if !pt.IsLeader() {
-		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrNotLeader})
+		b.respond(req, b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrNotLeader}))
 		return
 	}
 	pt.acquire(p)
@@ -327,7 +478,7 @@ func (b *Broker) handleProduce(p *sim.Proc, req *request, m *kwire.ProduceReq) {
 	batch, _, err := krecord.Parse(m.Batch)
 	if err != nil || batch.Validate() != nil {
 		pt.release()
-		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrInvalidRecord})
+		b.respond(req, b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrInvalidRecord}))
 		return
 	}
 
@@ -335,7 +486,7 @@ func (b *Broker) handleProduce(p *sim.Proc, req *request, m *kwire.ProduceReq) {
 		// An exclusive RDMA grant makes the broker the sole gatekeeper:
 		// no other writer may touch the file (§4.2.2).
 		pt.release()
-		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrAccessDenied})
+		b.respond(req, b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrAccessDenied}))
 		return
 	}
 	if pf := pt.produceFile; pf != nil && pf.mode == kwire.AccessShared && !pf.revoked {
@@ -349,12 +500,12 @@ func (b *Broker) handleProduce(p *sim.Proc, req *request, m *kwire.ProduceReq) {
 	base, seg, err := pt.log.Append(batch)
 	if err == klog.ErrBatchTooLarge {
 		pt.release()
-		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrInvalidRecord})
+		b.respond(req, b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrInvalidRecord}))
 		return
 	}
 	if err != nil {
 		pt.release()
-		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrInternal})
+		b.respond(req, b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrInternal}))
 		return
 	}
 	if seg != pt.log.Head() { // the append rolled the segment
@@ -367,11 +518,11 @@ func (b *Broker) handleProduce(p *sim.Proc, req *request, m *kwire.ProduceReq) {
 
 	if m.Acks < 0 && len(pt.replicas) > 1 {
 		pt.waitForHW(target, func() {
-			b.respond(req, &kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base})
+			b.respond(req, b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base}))
 		})
 		return
 	}
-	b.respond(req, &kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base})
+	b.respond(req, b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base}))
 }
 
 // handleFetch implements the TCP consume datapath (§4.4.1) and the pull
@@ -380,11 +531,11 @@ func (b *Broker) handleProduce(p *sim.Proc, req *request, m *kwire.ProduceReq) {
 func (b *Broker) handleFetch(p *sim.Proc, req *request, m *kwire.FetchReq) {
 	pt, ec := b.partition(m.Topic, m.Partition)
 	if ec != kwire.ErrNone {
-		b.respond(req, &kwire.FetchResp{Err: ec})
+		b.respond(req, b.fetchRespMsg(kwire.FetchResp{Err: ec}))
 		return
 	}
 	if !pt.IsLeader() {
-		b.respond(req, &kwire.FetchResp{Err: kwire.ErrNotLeader})
+		b.respond(req, b.fetchRespMsg(kwire.FetchResp{Err: kwire.ErrNotLeader}))
 		return
 	}
 	p.Sleep(b.cfg.APIFixedCost + b.cfg.FetchExtra)
@@ -404,19 +555,19 @@ func (b *Broker) handleFetch(p *sim.Proc, req *request, m *kwire.FetchReq) {
 		data, err = pt.log.ReadCommitted(m.Offset, int(m.MaxBytes))
 	}
 	if err != nil {
-		b.respond(req, &kwire.FetchResp{Err: kwire.ErrOffsetOutOfRange})
+		b.respond(req, b.fetchRespMsg(kwire.FetchResp{Err: kwire.ErrOffsetOutOfRange}))
 		return
 	}
 	if data == nil {
 		b.parkFetch(req, m, pt, isReplica)
 		return
 	}
-	b.respondZC(req, &kwire.FetchResp{
+	b.respondZC(req, b.fetchRespMsg(kwire.FetchResp{
 		Err:           kwire.ErrNone,
 		HighWatermark: pt.log.HighWatermark(),
 		LogEndOffset:  pt.log.NextOffset(),
 		Data:          data,
-	}, len(data))
+	}), len(data))
 }
 
 // parkFetch implements fetch purgatory: the request waits for new data (LEO
@@ -425,18 +576,22 @@ func (b *Broker) parkFetch(req *request, m *kwire.FetchReq, pt *Partition, isRep
 	wait := time.Duration(m.MaxWaitMicros) * time.Microsecond
 	if wait <= 0 {
 		b.statEmptyFetches++
-		b.respond(req, &kwire.FetchResp{
+		b.respond(req, b.fetchRespMsg(kwire.FetchResp{
 			Err:           kwire.ErrNone,
 			HighWatermark: pt.log.HighWatermark(),
 			LogEndOffset:  pt.log.NextOffset(),
-		})
+		}))
 		return
 	}
 	if wait > b.cfg.FetchLongPollMax {
 		wait = b.cfg.FetchLongPollMax
 	}
+	// The deferred closures outlive the dispatch; the generation check makes
+	// them no-ops if the pooled request has since been recycled.
+	gen := req.gen
 	redispatch := func() {
-		if !req.completed {
+		if req.gen == gen && !req.completed {
+			req.queued = true
 			b.reqQ.Push(req)
 		}
 	}
@@ -446,13 +601,13 @@ func (b *Broker) parkFetch(req *request, m *kwire.FetchReq, pt *Partition, isRep
 		pt.hwPollWaiters = append(pt.hwPollWaiters, redispatch)
 	}
 	b.env.After(wait, func() {
-		if !req.completed {
+		if req.gen == gen && !req.completed {
 			b.statEmptyFetches++
-			b.respond(req, &kwire.FetchResp{
+			b.respond(req, b.fetchRespMsg(kwire.FetchResp{
 				Err:           kwire.ErrNone,
 				HighWatermark: pt.log.HighWatermark(),
 				LogEndOffset:  pt.log.NextOffset(),
-			})
+			}))
 		}
 	})
 }

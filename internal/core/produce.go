@@ -313,10 +313,10 @@ func (b *Broker) revokeFile(f *rdmaFile, code kwire.ErrCode) {
 
 func (b *Broker) abortEntry(e *produceEntry, code kwire.ErrCode) {
 	if e.sess != nil {
-		e.sess.sendAck(&kwire.ProduceResp{Err: code})
+		e.sess.sendAck(b.produceRespMsg(kwire.ProduceResp{Err: code}))
 	}
 	if e.req != nil {
-		b.respond(e.req, &kwire.ProduceResp{Err: code})
+		b.respond(e.req, b.produceRespMsg(kwire.ProduceResp{Err: code}))
 	}
 }
 
@@ -331,19 +331,19 @@ func (b *Broker) revokeSessionGrants(sess *rdmaProducerSession) {
 // handleRDMAProduce processes one WriteWithImm completion (➌→➎→➍ in
 // Figure 2): map the file ID, enforce ordering, validate, and commit.
 func (b *Broker) handleRDMAProduce(p *sim.Proc, req *request) {
-	ev := req.rdma
+	ev := &req.rdma
 	b.statRDMAProduces++
 	order, fileID := DecodeImm(ev.imm)
 	f := b.produceFiles.get(fileID)
 	if f == nil || f.revoked {
-		ev.sess.sendAck(&kwire.ProduceResp{Err: kwire.ErrRevoked})
+		ev.sess.sendAck(b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrRevoked}))
 		return
 	}
 	pt := f.pt
 	pt.acquire(p)
 	defer pt.release()
 	if f.revoked { // may have been revoked while we waited for the lock
-		ev.sess.sendAck(&kwire.ProduceResp{Err: kwire.ErrRevoked})
+		ev.sess.sendAck(b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrRevoked}))
 		return
 	}
 
@@ -419,10 +419,10 @@ func (b *Broker) commitRDMAProduce(p *sim.Proc, f *rdmaFile, sess *rdmaProducerS
 
 	ackErr := func(code kwire.ErrCode) {
 		if sess != nil {
-			sess.sendAck(&kwire.ProduceResp{Err: code})
+			sess.sendAck(b.produceRespMsg(kwire.ProduceResp{Err: code}))
 		}
 		if tcpReq != nil {
-			b.respond(tcpReq, &kwire.ProduceResp{Err: code})
+			b.respond(tcpReq, b.produceRespMsg(kwire.ProduceResp{Err: code}))
 		}
 	}
 
@@ -447,10 +447,10 @@ func (b *Broker) commitRDMAProduce(p *sim.Proc, f *rdmaFile, sess *rdmaProducerS
 	target := base + int64(batch.Count())
 	deliver := func() {
 		if sess != nil {
-			sess.sendAck(&kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base})
+			sess.sendAck(b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base}))
 		}
 		if tcpReq != nil {
-			b.respond(tcpReq, &kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base})
+			b.respond(tcpReq, b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrNone, BaseOffset: base}))
 		}
 	}
 	if len(pt.replicas) > 1 {
@@ -470,10 +470,12 @@ func (b *Broker) produceViaSharedFileAsync(p *sim.Proc, pt *Partition, f *rdmaFi
 	// Serialise post+poll pairs: concurrent workers on different partitions
 	// share the loopback QP and must not steal each other's completions.
 	b.loopRes.Acquire(p)
-	old := make([]byte, 8)
+	if b.loopOld == nil {
+		b.loopOld = make([]byte, 8)
+	}
 	err := qp.PostSend(rdma.SendWR{
 		Op:         rdma.OpFetchAdd,
-		Local:      old,
+		Local:      b.loopOld, // reusable: loopRes serialises post/poll pairs
 		RemoteAddr: f.atomicMR.Addr(),
 		RKey:       f.atomicMR.RKey(),
 		Add:        SharedDelta(len(data)),
@@ -481,14 +483,14 @@ func (b *Broker) produceViaSharedFileAsync(p *sim.Proc, pt *Partition, f *rdmaFi
 	if err != nil {
 		b.loopRes.Release()
 		pt.release()
-		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrInternal})
+		b.respond(req, b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrInternal}))
 		return
 	}
 	cqe := qp.SendCQ().Poll(p)
 	b.loopRes.Release()
 	if cqe.Status != rdma.StatusOK {
 		pt.release()
-		b.respond(req, &kwire.ProduceResp{Err: kwire.ErrInternal})
+		b.respond(req, b.produceRespMsg(kwire.ProduceResp{Err: kwire.ErrInternal}))
 		return
 	}
 	order, offset := UnpackShared(cqe.Old)

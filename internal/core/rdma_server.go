@@ -213,22 +213,24 @@ func (b *Broker) rdmaPoller(p *sim.Proc) {
 			// styles land here (§4.2.2): WriteWithImm carries everything in
 			// the immediate value; Write+Send delivers a metadata frame
 			// whose Write has, by in-order delivery, already landed.
-			ev := &rdmaProduceEvent{sess: sess, imm: cqe.Imm, size: cqe.ByteLen}
+			req := b.getRequest()
+			req.rdma = rdmaProduceEvent{sess: sess, imm: cqe.Imm, size: cqe.ByteLen}
 			if !cqe.HasImm {
 				order, fileID, length, ok := DecodeWriteSendMeta(sess.bufs[cqe.WRID][:cqe.ByteLen])
 				if !ok {
 					_ = cqe.QP.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: sess.bufs[cqe.WRID]})
+					b.releaseRequest(req)
 					continue
 				}
-				ev.imm = EncodeImm(order, fileID)
-				ev.size = length
+				req.rdma.imm = EncodeImm(order, fileID)
+				req.rdma.size = length
 			}
 			_ = cqe.QP.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: sess.bufs[cqe.WRID]})
-			req := &request{rdma: ev}
-			b.env.After(b.cfg.HandoffDelay, func() { b.reqQ.Push(req) })
+			b.env.AfterArg(b.cfg.HandoffDelay, enqueueRequest, req)
 		case *replFollowerSession:
-			req := &request{repl: &replWriteEvent{sess: sess, imm: cqe.Imm, size: cqe.ByteLen}}
-			b.env.After(b.cfg.HandoffDelay, func() { b.reqQ.Push(req) })
+			req := b.getRequest()
+			req.repl = replWriteEvent{sess: sess, imm: cqe.Imm, size: cqe.ByteLen}
+			b.env.AfterArg(b.cfg.HandoffDelay, enqueueRequest, req)
 		case *replAckSession:
 			buf := sess.bufs[cqe.WRID]
 			fileID, leo := decodeAck(buf[:ackPayloadSize])
@@ -236,15 +238,27 @@ func (b *Broker) rdmaPoller(p *sim.Proc) {
 			sess.link.onAck(fileID, leo)
 		case *osuSession:
 			p.Sleep(b.cfg.OSURecvCost)
-			frame := make([]byte, cqe.ByteLen)
-			copy(frame, sess.bufs[cqe.WRID][:cqe.ByteLen])
-			_ = cqe.QP.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: sess.bufs[cqe.WRID]})
-			corr, msg, err := kwire.Decode(frame)
-			if err != nil {
+			// Decode straight out of the receive buffer (every byte field is
+			// copied during decode), then hand the buffer back to the RQ.
+			frame := sess.bufs[cqe.WRID][:cqe.ByteLen]
+			k, ok := kwire.PeekKind(frame)
+			var msg kwire.Message
+			if ok {
+				msg = b.getMsg(k)
+			}
+			if msg == nil {
+				_ = cqe.QP.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: sess.bufs[cqe.WRID]})
 				continue
 			}
-			req := &request{osu: sess, corr: corr, msg: msg}
-			b.env.After(b.cfg.HandoffDelay, func() { b.reqQ.Push(req) })
+			corr, err := kwire.DecodeInto(frame, msg)
+			_ = cqe.QP.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: sess.bufs[cqe.WRID]})
+			if err != nil {
+				b.putMsg(msg)
+				continue
+			}
+			req := b.getRequest()
+			req.osu, req.corr, req.msg = sess, corr, msg
+			b.env.AfterArg(b.cfg.HandoffDelay, enqueueRequest, req)
 		}
 	}
 }

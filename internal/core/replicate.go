@@ -324,7 +324,7 @@ func segEndOffset(pt *Partition, segID int) int64 {
 // the follower validates, commits each contained batch in place, reposts the
 // credit receive, and acks its new log end to the leader.
 func (b *Broker) handleReplicaWrite(p *sim.Proc, req *request) {
-	ev := req.repl
+	ev := &req.repl
 	pt := ev.sess.pt
 	pt.acquire(p)
 	p.Sleep(b.cfg.APIFixedCost + b.cfg.ReplicaWriteExtra + b.crcTime(ev.size))

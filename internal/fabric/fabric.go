@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"kafkadirect/internal/bufpool"
 	"kafkadirect/internal/sim"
 )
 
@@ -54,6 +55,12 @@ type Network struct {
 	env  *sim.Env
 	cfg  Config
 	node map[string]*Node
+
+	// wire recycles in-flight message buffers (modeled kernel copies, RDMA
+	// staging, encoded frames) for everything running on this fabric. One
+	// free list per Network is safe without locks: a simulation runs one
+	// process at a time, and each simulation owns its own Network.
+	wire bufpool.List
 }
 
 // New creates a fabric on the given simulation environment.
@@ -75,6 +82,10 @@ func (n *Network) Env() *sim.Env { return n.env }
 
 // Config returns the fabric configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// WireBufs returns the fabric-wide free list for in-flight message buffers.
+// Buffers from it are not zeroed; see bufpool.List.
+func (n *Network) WireBufs() *bufpool.List { return &n.wire }
 
 // Node is a machine attached to the fabric through one full-duplex port.
 type Node struct {
@@ -127,13 +138,29 @@ func (n *Network) serTime(bytes int) time.Duration {
 // RDMA atomics "to themselves" (§4.2.2), which still pay NIC processing (the
 // caller models that) but no link time.
 func (n *Network) Deliver(from, to *Node, size int, onArrive func()) time.Duration {
+	arrive := n.reserve(from, to, size)
+	n.env.At(arrive, onArrive)
+	return arrive
+}
+
+// DeliverArg is Deliver for allocation-free hot paths: onArrive is a shared
+// function applied to a pooled argument record (see sim.Env.AtArg), so no
+// closure is allocated per message.
+func (n *Network) DeliverArg(from, to *Node, size int, onArrive func(any), arg any) time.Duration {
+	arrive := n.reserve(from, to, size)
+	n.env.AtArg(arrive, onArrive, arg)
+	return arrive
+}
+
+// reserve books the ports for a transfer and returns its arrival time.
+func (n *Network) reserve(from, to *Node, size int) time.Duration {
 	now := n.env.Now()
 	from.txBytes += uint64(size)
 	to.rxBytes += uint64(size)
 	if from == to {
-		at := now
-		n.env.At(at, onArrive)
-		return at
+		// Loopback fast path: no port pacing or wire time; arrival is
+		// scheduled at the current instant.
+		return now
 	}
 	ser := n.serTime(size)
 	txEnd := from.tx.Reserve(now, ser)
@@ -142,12 +169,13 @@ func (n *Network) Deliver(from, to *Node, size int, onArrive func()) time.Durati
 	// after it finished leaving (store-and-forward at message granularity).
 	rxStart := txEnd + n.cfg.PropDelay - ser
 	arrive := to.rx.Reserve(rxStart, ser)
-	n.env.At(arrive, onArrive)
 	return arrive
 }
 
-// DeliverProc is Deliver for callers inside a process that simply want to
-// know the arrival time without a callback.
+// DeliverTime is Deliver for callers inside a process that simply want to
+// know the arrival time without a callback. Like Deliver, loopback
+// (from == to) takes the fast path: no port pacing, arrival at the current
+// time.
 func (n *Network) DeliverTime(from, to *Node, size int) time.Duration {
 	return n.Deliver(from, to, size, func() {})
 }

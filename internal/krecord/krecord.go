@@ -68,6 +68,7 @@ type Record struct {
 // Builder accumulates records into a batch.
 type Builder struct {
 	buf        []byte
+	body       []byte // per-record scratch, reused across Appends
 	count      uint32
 	baseTime   int64
 	producerID int64
@@ -109,13 +110,14 @@ func (b *Builder) Append(r Record) error {
 	if tsDelta < 0 {
 		return fmt.Errorf("krecord: timestamp delta %d is negative", tsDelta)
 	}
-	var body []byte
 	var tmp [binary.MaxVarintLen64]byte
+	body := b.body[:0]
 	body = append(body, 0) // record attrs
 	body = append(body, tmp[:binary.PutUvarint(tmp[:], uint64(tsDelta))]...)
 	body = append(body, tmp[:binary.PutUvarint(tmp[:], uint64(b.count))]...)
 	body = appendBytesField(body, r.Key)
 	body = appendBytesField(body, r.Value)
+	b.body = body // keep the grown scratch for the next record
 
 	b.buf = append(b.buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(body)))]...)
 	b.buf = append(b.buf, body...)

@@ -1,0 +1,122 @@
+package kwire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kafkadirect/internal/bufpool"
+	"kafkadirect/internal/kwire"
+)
+
+// The steady-state datapath depends on the codec being allocation-free once
+// its scratch state is warm: AppendEncode writes into a caller buffer, and
+// DecodeInto refills a reused message struct (string fields are only
+// re-allocated when their value actually changes, byte fields reuse capacity).
+
+func produceReq() *kwire.ProduceReq {
+	return &kwire.ProduceReq{
+		Topic:     "events",
+		Partition: 3,
+		Acks:      -1,
+		Batch:     bytes.Repeat([]byte{0xab}, 512),
+	}
+}
+
+func TestEncodeDecodeRoundTripAllocFree(t *testing.T) {
+	var enc kwire.Scratch
+	req := produceReq()
+	var dst kwire.ProduceReq
+
+	roundTrip := func() {
+		frame := enc.Encode(42, req)
+		corr, err := kwire.DecodeInto(frame, &dst)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if corr != 42 {
+			t.Fatalf("corr = %d, want 42", corr)
+		}
+	}
+	roundTrip() // warm the scratch buffer and dst's field capacities
+
+	if allocs := testing.AllocsPerRun(100, roundTrip); allocs != 0 {
+		t.Fatalf("encode/decode round trip allocates %.1f times per op, want 0", allocs)
+	}
+	if dst.Topic != req.Topic || !bytes.Equal(dst.Batch, req.Batch) {
+		t.Fatalf("round trip corrupted message: %+v", dst)
+	}
+}
+
+func TestFetchRespDecodeIntoAllocFree(t *testing.T) {
+	var enc kwire.Scratch
+	resp := &kwire.FetchResp{
+		Err:           kwire.ErrNone,
+		HighWatermark: 100,
+		LogEndOffset:  120,
+		Data:          bytes.Repeat([]byte{0x5a}, 4096),
+	}
+	var dst kwire.FetchResp
+	roundTrip := func() {
+		frame := enc.Encode(7, resp)
+		if _, err := kwire.DecodeInto(frame, &dst); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	roundTrip()
+	if allocs := testing.AllocsPerRun(100, roundTrip); allocs != 0 {
+		t.Fatalf("fetch response round trip allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestDecodedMessageDoesNotAliasPooledBuffer pins the invariant the broker
+// and clients rely on when they recycle wire buffers right after decoding:
+// no decoded field may alias the frame it was decoded from.
+func TestDecodedMessageDoesNotAliasPooledBuffer(t *testing.T) {
+	pool := new(bufpool.List)
+	req := produceReq()
+
+	buf := pool.Get(1024)
+	frame := kwire.AppendEncode(buf[:0], 1, req)
+
+	var dst kwire.ProduceReq
+	if _, err := kwire.DecodeInto(frame, &dst); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	// Recycle the frame and scribble over the recycled memory, as the next
+	// sender on the same fabric would.
+	pool.Put(frame)
+	next := pool.Get(1024)
+	for i := range next {
+		next[i] = 0xff
+	}
+
+	if dst.Topic != req.Topic {
+		t.Fatalf("Topic aliased the recycled buffer: %q", dst.Topic)
+	}
+	if !bytes.Equal(dst.Batch, req.Batch) {
+		t.Fatalf("Batch aliased the recycled buffer")
+	}
+}
+
+func BenchmarkAppendEncodeProduce(b *testing.B) {
+	var enc kwire.Scratch
+	req := produceReq()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(uint32(i), req)
+	}
+}
+
+func BenchmarkDecodeIntoProduce(b *testing.B) {
+	var enc kwire.Scratch
+	req := produceReq()
+	frame := enc.Encode(9, req)
+	var dst kwire.ProduceReq
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := kwire.DecodeInto(frame, &dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

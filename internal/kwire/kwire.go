@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Kind discriminates message types on the wire.
@@ -391,15 +392,37 @@ func (r *reader) str() string {
 	b := r.take(n)
 	return string(b)
 }
-func (r *reader) bytes() []byte {
+
+// strInto reads a string field into *dst, rewriting it only when the value
+// changed: the `*dst != string(b)` comparison does not allocate, so decoding
+// a stream of messages with a stable topic name into a pooled struct costs
+// nothing.
+func (r *reader) strInto(dst *string) {
+	n := int(r.u16())
+	b := r.take(n)
+	if r.err != nil {
+		*dst = ""
+		return
+	}
+	if *dst != string(b) {
+		*dst = string(b)
+	}
+}
+
+// bytesInto reads a byte field into *dst, reusing its capacity when the
+// payload fits. The result never aliases the wire buffer.
+func (r *reader) bytesInto(dst *[]byte) {
 	n := int(r.u32())
 	b := r.take(n)
-	if b == nil {
-		return nil
+	if r.err != nil {
+		*dst = nil
+		return
 	}
-	out := make([]byte, n)
-	copy(out, b)
-	return out
+	if cap(*dst) < n {
+		*dst = make([]byte, n)
+	}
+	*dst = (*dst)[:n]
+	copy(*dst, b)
 }
 
 // Kind implementations.
@@ -429,10 +452,10 @@ func (m *ProduceReq) encode(w *writer) {
 	w.bytes(m.Batch)
 }
 func (m *ProduceReq) decode(r *reader) error {
-	m.Topic = r.str()
+	r.strInto(&m.Topic)
 	m.Partition = r.i32()
 	m.Acks = int8(r.u8())
-	m.Batch = r.bytes()
+	r.bytesInto(&m.Batch)
 	return r.err
 }
 
@@ -455,7 +478,7 @@ func (m *FetchReq) encode(w *writer) {
 	w.i32(m.ReplicaID)
 }
 func (m *FetchReq) decode(r *reader) error {
-	m.Topic = r.str()
+	r.strInto(&m.Topic)
 	m.Partition = r.i32()
 	m.Offset = r.i64()
 	m.MaxBytes = r.i32()
@@ -474,7 +497,7 @@ func (m *FetchResp) decode(r *reader) error {
 	m.Err = ErrCode(r.i16())
 	m.HighWatermark = r.i64()
 	m.LogEndOffset = r.i64()
-	m.Data = r.bytes()
+	r.bytesInto(&m.Data)
 	return r.err
 }
 
@@ -486,7 +509,7 @@ func (m *MetadataReq) encode(w *writer) {
 }
 func (m *MetadataReq) decode(r *reader) error {
 	n := int(r.u16())
-	m.Topics = nil
+	m.Topics = m.Topics[:0]
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Topics = append(m.Topics, r.str())
 	}
@@ -511,7 +534,7 @@ func (m *MetadataResp) encode(w *writer) {
 }
 func (m *MetadataResp) decode(r *reader) error {
 	nt := int(r.u16())
-	m.Topics = nil
+	m.Topics = m.Topics[:0]
 	for i := 0; i < nt && r.err == nil; i++ {
 		var t TopicMeta
 		t.Name = r.str()
@@ -538,7 +561,7 @@ func (m *CreateTopicReq) encode(w *writer) {
 	w.i32(m.ReplicationFactor)
 }
 func (m *CreateTopicReq) decode(r *reader) error {
-	m.Topic = r.str()
+	r.strInto(&m.Topic)
 	m.Partitions = r.i32()
 	m.ReplicationFactor = r.i32()
 	return r.err
@@ -557,7 +580,7 @@ func (m *ProduceAccessReq) encode(w *writer) {
 	w.u32(m.Session)
 }
 func (m *ProduceAccessReq) decode(r *reader) error {
-	m.Topic = r.str()
+	r.strInto(&m.Topic)
 	m.Partition = r.i32()
 	m.Mode = AccessMode(r.u8())
 	m.Session = r.u32()
@@ -593,7 +616,7 @@ func (m *ConsumeAccessReq) encode(w *writer) {
 	w.u32(m.Session)
 }
 func (m *ConsumeAccessReq) decode(r *reader) error {
-	m.Topic = r.str()
+	r.strInto(&m.Topic)
 	m.Partition = r.i32()
 	m.Offset = r.i64()
 	m.Session = r.u32()
@@ -633,7 +656,7 @@ func (m *ReleaseFileReq) encode(w *writer) {
 	w.u32(m.Session)
 }
 func (m *ReleaseFileReq) decode(r *reader) error {
-	m.Topic = r.str()
+	r.strInto(&m.Topic)
 	m.Partition = r.i32()
 	m.FileID = r.i32()
 	m.Session = r.u32()
@@ -653,8 +676,8 @@ func (m *OffsetCommitReq) encode(w *writer) {
 	w.i64(m.Offset)
 }
 func (m *OffsetCommitReq) decode(r *reader) error {
-	m.Group = r.str()
-	m.Topic = r.str()
+	r.strInto(&m.Group)
+	r.strInto(&m.Topic)
 	m.Partition = r.i32()
 	m.Offset = r.i64()
 	return r.err
@@ -672,8 +695,8 @@ func (m *OffsetFetchReq) encode(w *writer) {
 	w.i32(m.Partition)
 }
 func (m *OffsetFetchReq) decode(r *reader) error {
-	m.Group = r.str()
-	m.Topic = r.str()
+	r.strInto(&m.Group)
+	r.strInto(&m.Topic)
 	m.Partition = r.i32()
 	return r.err
 }
@@ -731,29 +754,105 @@ func newMessage(k Kind) Message {
 	return nil
 }
 
-// Encode frames a message with its correlation id:
-// kind(1) corr(4) body(...).
-func Encode(corr uint32, m Message) []byte {
-	w := &writer{buf: make([]byte, 0, 64)}
+// NewMessage returns an empty message struct of the given kind, or nil for
+// an unknown kind. Callers that pool decoded messages per kind (the broker's
+// request free lists) use it to seed their pools.
+func NewMessage(k Kind) Message { return newMessage(k) }
+
+// writerPool and readerPool recycle codec state. A writer/reader crosses an
+// interface method call (Message.encode/decode), so escape analysis pins it
+// to the heap; pooling makes AppendEncode and DecodeInto allocation-free at
+// steady state anyway.
+var (
+	writerPool = sync.Pool{New: func() any { return new(writer) }}
+	readerPool = sync.Pool{New: func() any { return new(reader) }}
+)
+
+// AppendEncode frames a message with its correlation id — kind(1) corr(4)
+// body(...) — appending to dst (which may be nil) and returning the extended
+// slice. When dst has enough capacity it performs no allocations.
+func AppendEncode(dst []byte, corr uint32, m Message) []byte {
+	w := writerPool.Get().(*writer)
+	w.buf = dst
 	w.u8(uint8(m.Kind()))
 	w.u32(corr)
 	m.encode(w)
-	return w.buf
+	out := w.buf
+	w.buf = nil
+	writerPool.Put(w)
+	return out
 }
 
-// Decode parses a framed message.
-func Decode(buf []byte) (corr uint32, m Message, err error) {
-	r := &reader{buf: buf}
+// Encode frames a message into a fresh buffer. Hot paths should prefer
+// AppendEncode or Scratch with a reused buffer.
+func Encode(corr uint32, m Message) []byte {
+	return AppendEncode(make([]byte, 0, 64), corr, m)
+}
+
+// Scratch is a reusable encode buffer for per-process hot paths. The frame
+// returned by Encode is only valid until the next call on the same Scratch,
+// so callers must transmit (or copy) it before re-encoding. Not safe for
+// concurrent use; give each simulated process its own.
+type Scratch struct{ buf []byte }
+
+// Encode frames a message into the scratch buffer, growing it on first use
+// and reusing it afterwards (0 allocs/op at steady state).
+func (s *Scratch) Encode(corr uint32, m Message) []byte {
+	s.buf = AppendEncode(s.buf[:0], corr, m)
+	return s.buf
+}
+
+// PeekKind returns the kind byte of a framed message without decoding it.
+func PeekKind(buf []byte) (Kind, bool) {
+	if len(buf) < 1 {
+		return 0, false
+	}
+	return Kind(buf[0]), true
+}
+
+// ErrKindMismatch reports a DecodeInto target of the wrong message kind.
+var ErrKindMismatch = errors.New("kwire: message kind mismatch")
+
+// DecodeInto parses a framed message into m, which must match the frame's
+// kind (see PeekKind). Unlike Decode it reuses m's existing field capacity —
+// byte fields are overwritten in place when they fit, string fields are only
+// reallocated when their value changed — so decoding a stream of similar
+// messages into a pooled struct does 0 allocs/op at steady state. Decoded
+// fields never alias buf, which may be recycled as soon as DecodeInto
+// returns.
+func DecodeInto(buf []byte, m Message) (corr uint32, err error) {
+	r := readerPool.Get().(*reader)
+	r.buf, r.err = buf, nil
 	k := Kind(r.u8())
 	corr = r.u32()
-	if r.err != nil {
-		return 0, nil, r.err
+	switch {
+	case r.err != nil:
+		err = r.err
+	case k != m.Kind():
+		err = ErrKindMismatch
+	default:
+		err = m.decode(r)
+	}
+	r.buf, r.err = nil, nil
+	readerPool.Put(r)
+	if err != nil {
+		return 0, err
+	}
+	return corr, nil
+}
+
+// Decode parses a framed message into a freshly allocated struct.
+func Decode(buf []byte) (corr uint32, m Message, err error) {
+	k, ok := PeekKind(buf)
+	if !ok {
+		return 0, nil, ErrTruncated
 	}
 	m = newMessage(k)
 	if m == nil {
 		return 0, nil, ErrUnknownKind
 	}
-	if err := m.decode(r); err != nil {
+	corr, err = DecodeInto(buf, m)
+	if err != nil {
 		return 0, nil, err
 	}
 	return corr, m, nil

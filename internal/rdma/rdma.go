@@ -165,6 +165,10 @@ type Device struct {
 	// "Memory usage"). Deregistration (e.g. after a consumer releases a
 	// fully-read file) reduces it.
 	registeredBytes uint64
+
+	// wrFree recycles work-request records (see wrRecord), so the
+	// steady-state PostSend pipeline allocates nothing per WR.
+	wrFree []*wrRecord
 }
 
 // AsyncEvent notifies about QP state changes (disconnects, fatal errors).
@@ -556,28 +560,86 @@ func (qp *QP) PostSend(wr SendWR) error {
 		return fmt.Errorf("rdma: cannot post opcode %v", wr.Op)
 	}
 
-	// The WR hits the wire once the engine has processed it.
-	env.At(ready, func() {
-		remote := qp.remote
-		qp.dev.node.Network().Deliver(d.node, remote.dev.node, wireBytes, func() {
-			qp.execAtResponder(wr, size)
-		})
-	})
+	// The WR hits the wire once the engine has processed it. A pooled
+	// record carries it through the remaining pipeline stages — wire,
+	// responder, acknowledgement — without allocating per stage.
+	rec := d.getWR()
+	rec.qp = qp
+	rec.wr = wr
+	rec.size = size
+	rec.wireBytes = wireBytes
+	env.AtArg(ready, wrOnWire, rec)
 	return nil
+}
+
+// wrRecord threads one posted work request through its pipeline stages. The
+// stage callbacks are package-level functions scheduled with AtArg and
+// DeliverArg, and the record returns to its requester device's free list
+// when the WR completes (on any path, success or error).
+type wrRecord struct {
+	qp        *QP
+	wr        SendWR
+	size      int
+	wireBytes int
+	// Responder-side staging, filled in execAtResponder:
+	rqe    RQE    // consumed receive (OpSend, OpWriteImm)
+	hasRQE bool   // a receive completion must be generated
+	dst    []byte // write destination, read source, or atomic word
+	data   []byte // OpRead wire snapshot (from the fabric's wire free list)
+	old    uint64 // atomic pre-operation value
+}
+
+func (d *Device) getWR() *wrRecord {
+	if n := len(d.wrFree); n > 0 {
+		rec := d.wrFree[n-1]
+		d.wrFree[n-1] = nil
+		d.wrFree = d.wrFree[:n-1]
+		return rec
+	}
+	return &wrRecord{}
+}
+
+func (d *Device) putWR(rec *wrRecord) {
+	*rec = wrRecord{}
+	d.wrFree = append(d.wrFree, rec)
+}
+
+// finish completes the WR at the requester and recycles the record; it must
+// be the record's final stage.
+func (rec *wrRecord) finish(e CQE) {
+	qp := rec.qp
+	qp.complete(rec.wr, e)
+	qp.dev.putWR(rec)
+}
+
+// wrOnWire runs when the requester engine finishes processing: the request
+// goes on the wire towards the responder.
+func wrOnWire(v any) {
+	rec := v.(*wrRecord)
+	d := rec.qp.dev
+	remote := rec.qp.remote
+	d.node.Network().DeliverArg(d.node, remote.dev.node, rec.wireBytes, wrAtResponder, rec)
+}
+
+// wrAtResponder runs when the request has fully arrived at the responder.
+func wrAtResponder(v any) {
+	rec := v.(*wrRecord)
+	rec.qp.execAtResponder(rec)
 }
 
 // execAtResponder runs in scheduler context at the time the request fully
 // arrives at the responder, performs the memory operation, and schedules the
 // acknowledgement or response back to the requester.
-func (qp *QP) execAtResponder(wr SendWR, size int) {
-	d := qp.dev
+func (qp *QP) execAtResponder(rec *wrRecord) {
 	remote := qp.remote
 	rdev := remote.dev
-	env := d.env
+	env := qp.dev.env
 	costs := rdev.costs
+	wr := &rec.wr
+	size := rec.size
 
 	if qp.state != QPReady || remote.state != QPReady {
-		qp.complete(wr, CQE{Status: StatusFlushed})
+		rec.finish(CQE{Status: StatusFlushed})
 		return
 	}
 
@@ -587,79 +649,53 @@ func (qp *QP) execAtResponder(wr SendWR, size int) {
 	switch wr.Op {
 	case OpSend:
 		if len(remote.rq) == 0 {
-			qp.complete(wr, CQE{Status: StatusRNR})
+			rec.finish(CQE{Status: StatusRNR})
 			remote.fail("receiver not ready (no posted receive)")
 			return
 		}
 		rqe := remote.rq[0]
 		remote.rq = remote.rq[1:]
 		if len(rqe.Buf) < size {
-			qp.complete(wr, CQE{Status: StatusRemoteAccessErr})
+			rec.finish(CQE{Status: StatusRemoteAccessErr})
 			remote.fail("receive buffer too small")
 			return
 		}
-		env.At(done, func() {
-			copy(rqe.Buf, wr.Local)
-			remote.recvCQ.push(CQE{
-				QP: remote, WRID: rqe.WRID, Op: OpRecv, Status: StatusOK,
-				ByteLen: size, Imm: wr.Imm, HasImm: wr.HasImm,
-			})
-			rdev.node.Network().Deliver(rdev.node, d.node, costs.AckBytes, func() {
-				qp.complete(wr, CQE{Status: StatusOK})
-			})
-		})
+		rec.rqe = rqe
+		rec.hasRQE = true
+		env.AtArg(done, wrSendDone, rec)
 
 	case OpWrite, OpWriteImm:
 		mr, dst, status := rdev.resolve(wr.RKey, wr.RemoteAddr, size, AccessRemoteWrite)
 		if status != StatusOK {
-			qp.complete(wr, CQE{Status: status})
+			rec.finish(CQE{Status: status})
 			remote.fail("remote access error on write")
 			return
 		}
 		mr.noteWrite(wr.RemoteAddr, size)
-		var rqe *RQE
 		if wr.Op == OpWriteImm {
 			// WriteWithImm consumes a receive (buffer unused) so that the
 			// responder gets a completion event carrying the immediate data.
 			if len(remote.rq) == 0 {
-				qp.complete(wr, CQE{Status: StatusRNR})
+				rec.finish(CQE{Status: StatusRNR})
 				remote.fail("receiver not ready (WriteWithImm, no posted receive)")
 				return
 			}
-			r := remote.rq[0]
+			rec.rqe = remote.rq[0]
 			remote.rq = remote.rq[1:]
-			rqe = &r
+			rec.hasRQE = true
 		}
-		env.At(done, func() {
-			copy(dst, wr.Local)
-			if rqe != nil {
-				remote.recvCQ.push(CQE{
-					QP: remote, WRID: rqe.WRID, Op: OpRecv, Status: StatusOK,
-					ByteLen: size, Imm: wr.Imm, HasImm: true,
-				})
-			}
-			rdev.node.Network().Deliver(rdev.node, d.node, costs.AckBytes, func() {
-				qp.complete(wr, CQE{Status: StatusOK})
-			})
-		})
+		rec.dst = dst
+		env.AtArg(done, wrWriteDone, rec)
 
 	case OpRead:
 		_, src, status := rdev.resolve(wr.RKey, wr.RemoteAddr, size, AccessRemoteRead)
 		if status != StatusOK {
-			qp.complete(wr, CQE{Status: status})
+			rec.finish(CQE{Status: status})
 			remote.fail("remote access error on read")
 			return
 		}
-		env.At(done, func() {
-			// Snapshot at response time; the DMA engine reads memory as the
-			// response leaves the responder.
-			data := make([]byte, size)
-			copy(data, src)
-			rdev.node.Network().Deliver(rdev.node, d.node, size+costs.HeaderBytes, func() {
-				copy(wr.Local, data)
-				qp.complete(wr, CQE{Status: StatusOK, ByteLen: size})
-			})
-		})
+		rec.dst = src
+		env.AtArg(done, wrReadDone, rec)
 
 	case OpCompSwap, OpFetchAdd:
 		amr, word, status := rdev.resolve(wr.RKey, wr.RemoteAddr, 8, AccessRemoteAtomic)
@@ -667,7 +703,7 @@ func (qp *QP) execAtResponder(wr SendWR, size int) {
 			if status == StatusOK {
 				status = StatusRemoteAccessErr
 			}
-			qp.complete(wr, CQE{Status: status})
+			rec.finish(CQE{Status: status})
 			remote.fail("remote access error on atomic")
 			return
 		}
@@ -676,22 +712,95 @@ func (qp *QP) execAtResponder(wr SendWR, size int) {
 		// 2.68 Mreq/s single-counter throughput limit (§4.2.2).
 		unit := rdev.atomicUnit(wr.RemoteAddr)
 		opDone := unit.Reserve(done, costs.AtomicService)
-		op := wr.Op
-		env.At(opDone, func() {
-			old := binary.LittleEndian.Uint64(word)
-			if op == OpFetchAdd {
-				binary.LittleEndian.PutUint64(word, old+wr.Add)
-			} else if old == wr.Compare {
-				binary.LittleEndian.PutUint64(word, wr.Swap)
-			}
-			rdev.node.Network().Deliver(rdev.node, d.node, costs.AckBytes+8, func() {
-				if len(wr.Local) >= 8 {
-					binary.LittleEndian.PutUint64(wr.Local, old)
-				}
-				qp.complete(wr, CQE{Status: StatusOK, Old: old, ByteLen: 8})
-			})
+		rec.dst = word
+		env.AtArg(opDone, wrAtomicDone, rec)
+	}
+}
+
+// wrSendDone runs at the responder when an OpSend's data has landed: deliver
+// the receive completion and send the ack back.
+func wrSendDone(v any) {
+	rec := v.(*wrRecord)
+	qp := rec.qp
+	remote := qp.remote
+	rdev := remote.dev
+	copy(rec.rqe.Buf, rec.wr.Local)
+	remote.recvCQ.push(CQE{
+		QP: remote, WRID: rec.rqe.WRID, Op: OpRecv, Status: StatusOK,
+		ByteLen: rec.size, Imm: rec.wr.Imm, HasImm: rec.wr.HasImm,
+	})
+	rdev.node.Network().DeliverArg(rdev.node, qp.dev.node, rdev.costs.AckBytes, wrAcked, rec)
+}
+
+// wrWriteDone runs at the responder when an OpWrite/OpWriteImm's data has
+// landed.
+func wrWriteDone(v any) {
+	rec := v.(*wrRecord)
+	qp := rec.qp
+	remote := qp.remote
+	rdev := remote.dev
+	copy(rec.dst, rec.wr.Local)
+	if rec.hasRQE {
+		remote.recvCQ.push(CQE{
+			QP: remote, WRID: rec.rqe.WRID, Op: OpRecv, Status: StatusOK,
+			ByteLen: rec.size, Imm: rec.wr.Imm, HasImm: true,
 		})
 	}
+	rdev.node.Network().DeliverArg(rdev.node, qp.dev.node, rdev.costs.AckBytes, wrAcked, rec)
+}
+
+// wrAcked completes an OpSend/OpWrite/OpWriteImm once the ack arrives back
+// at the requester.
+func wrAcked(v any) {
+	v.(*wrRecord).finish(CQE{Status: StatusOK})
+}
+
+// wrReadDone runs at the responder when it starts emitting the read
+// response. The data is snapshotted at response time — the DMA engine reads
+// memory as the response leaves the responder — into a staging buffer from
+// the fabric's wire free list, recycled once the contents land in the
+// requester's local buffer.
+func wrReadDone(v any) {
+	rec := v.(*wrRecord)
+	qp := rec.qp
+	rdev := qp.remote.dev
+	rec.data = rdev.node.Network().WireBufs().Get(rec.size)
+	copy(rec.data, rec.dst)
+	rdev.node.Network().DeliverArg(rdev.node, qp.dev.node, rec.size+rdev.costs.HeaderBytes, wrReadArrived, rec)
+}
+
+// wrReadArrived completes an OpRead once the response arrives.
+func wrReadArrived(v any) {
+	rec := v.(*wrRecord)
+	copy(rec.wr.Local, rec.data)
+	rec.qp.remote.dev.node.Network().WireBufs().Put(rec.data)
+	rec.finish(CQE{Status: StatusOK, ByteLen: rec.size})
+}
+
+// wrAtomicDone runs at the responder's atomic unit: apply the operation and
+// return the old value.
+func wrAtomicDone(v any) {
+	rec := v.(*wrRecord)
+	qp := rec.qp
+	rdev := qp.remote.dev
+	word := rec.dst
+	old := binary.LittleEndian.Uint64(word)
+	if rec.wr.Op == OpFetchAdd {
+		binary.LittleEndian.PutUint64(word, old+rec.wr.Add)
+	} else if old == rec.wr.Compare {
+		binary.LittleEndian.PutUint64(word, rec.wr.Swap)
+	}
+	rec.old = old
+	rdev.node.Network().DeliverArg(rdev.node, qp.dev.node, rdev.costs.AckBytes+8, wrAtomicAcked, rec)
+}
+
+// wrAtomicAcked completes an atomic once the response arrives.
+func wrAtomicAcked(v any) {
+	rec := v.(*wrRecord)
+	if len(rec.wr.Local) >= 8 {
+		binary.LittleEndian.PutUint64(rec.wr.Local, rec.old)
+	}
+	rec.finish(CQE{Status: StatusOK, Old: rec.old, ByteLen: 8})
 }
 
 // complete releases the SQ slot and, if signaled, delivers the requester CQE.

@@ -68,11 +68,16 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 // event is a scheduled occurrence: either resume a parked process or invoke
 // an inline callback (which must not block). Inline callbacks are the fast
 // path: the scheduler invokes them directly, with no goroutine handoff.
+// An event carries either fn (a plain closure) or fnArg+arg (a shared
+// function applied to a caller-pooled argument, see AtArg) — the latter lets
+// hot paths schedule work without allocating a closure per event.
 type event struct {
-	at   Time
-	seq  uint64
-	proc *Proc
-	fn   func()
+	at    Time
+	seq   uint64
+	proc  *Proc
+	fn    func()
+	fnArg func(any)
+	arg   any
 }
 
 // before orders events by time, then by insertion sequence (determinism).
@@ -164,6 +169,21 @@ func (e *Env) At(t Time, fn func()) {
 
 // After schedules fn to run d from now. See At.
 func (e *Env) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// AtArg schedules fn(arg) to run inline at absolute virtual time t. It is At
+// for allocation-free hot paths: fn is a shared (package-level) function and
+// arg a pooled record, so no closure is materialised per event. fn must not
+// block.
+func (e *Env) AtArg(t Time, fn func(any), arg any) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, fnArg: fn, arg: arg})
+}
+
+// AfterArg schedules fn(arg) to run d from now. See AtArg.
+func (e *Env) AfterArg(d Time, fn func(any), arg any) { e.AtArg(e.now+d, fn, arg) }
 
 // Proc is a simulation process. All blocking operations take the process as
 // receiver so that misuse (blocking outside a process) is impossible to write.
@@ -317,6 +337,10 @@ func (e *Env) RunUntil(deadline Time) {
 			ev.fn()
 			continue
 		}
+		if ev.fnArg != nil {
+			ev.fnArg(ev.arg)
+			continue
+		}
 		p := ev.proc
 		if p.dead {
 			continue
@@ -404,7 +428,12 @@ func (c *Cond) Signal() {
 		return
 	}
 	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
+	// Shift down rather than reslice: c.waiters[1:] would shrink the
+	// backing array's usable capacity on every Signal, forcing the next
+	// Wait's append to reallocate — a hidden per-wakeup heap allocation.
+	n := copy(c.waiters, c.waiters[1:])
+	c.waiters[n] = nil
+	c.waiters = c.waiters[:n]
 	p.wake()
 }
 
@@ -436,6 +465,15 @@ type Queue[T any] struct {
 	head int // index of the oldest item
 	n    int // number of queued items
 	cond Cond
+	// wakes counts receivers that have been signalled by Push but whose
+	// resume event has not yet run. Push skips the signal while the queued
+	// items are already covered by in-flight wakeups, so a pool of workers
+	// batch-drains a burst of same-instant pushes instead of paying one
+	// park/unpark handshake per item. This is invisible to virtual time: a
+	// signalled receiver's resume is scheduled at the current instant, so
+	// coalescing can only transfer an item to a receiver that would have
+	// popped it at the same timestamp anyway.
+	wakes int
 }
 
 // NewQueue returns an empty queue.
@@ -459,15 +497,19 @@ func (q *Queue[T]) grow() {
 	q.head = 0
 }
 
-// Push appends an item and wakes one waiting receiver. It never blocks and is
-// callable from inline events as well as processes.
+// Push appends an item and wakes one waiting receiver, unless enough
+// receivers are already on their way (see the wakes field). It never blocks
+// and is callable from inline events as well as processes.
 func (q *Queue[T]) Push(v T) {
 	if q.n == len(q.buf) {
 		q.grow()
 	}
 	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
 	q.n++
-	q.cond.Signal()
+	if q.n > q.wakes && q.cond.Waiting() > 0 {
+		q.wakes++
+		q.cond.Signal()
+	}
 }
 
 // pop removes and returns the head item; the queue must be non-empty.
@@ -489,11 +531,21 @@ func (q *Queue[T]) TryPop() (T, bool) {
 	return q.pop(), true
 }
 
+// signalled accounts for one signalled receiver resuming; every return from
+// a signalled (non-timed-out) wait must pass through here to keep the
+// Push-side wake accounting exact.
+func (q *Queue[T]) signalled() {
+	if q.wakes > 0 {
+		q.wakes--
+	}
+}
+
 // Pop blocks the calling process until an item is available, then removes and
 // returns the head item.
 func (q *Queue[T]) Pop(p *Proc) T {
 	for q.n == 0 {
 		q.cond.Wait(p)
+		q.signalled()
 	}
 	return q.pop()
 }
@@ -505,6 +557,7 @@ func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
 	for q.n == 0 {
 		if d < 0 {
 			q.cond.Wait(p)
+			q.signalled()
 			continue
 		}
 		remain := deadline - p.env.now
@@ -512,6 +565,7 @@ func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
 			var zero T
 			return zero, false
 		}
+		q.signalled()
 	}
 	return q.pop(), true
 }

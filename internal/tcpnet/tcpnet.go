@@ -178,7 +178,7 @@ func (c *Conn) Send(p *sim.Proc, data []byte) error {
 	}
 	s := c.host.stack
 	p.Sleep(s.cfg.SendOverhead + s.copyTime(len(data)))
-	kernelCopy := make([]byte, len(data))
+	kernelCopy := s.net.WireBufs().Get(len(data))
 	copy(kernelCopy, data)
 	peer := c.peer
 	s.net.Deliver(c.host.node, peer.host.node, len(data)+s.cfg.HeaderBytes, func() {
@@ -247,7 +247,7 @@ func (c *Conn) SendRaw(data []byte) error {
 		return ErrClosed
 	}
 	s := c.host.stack
-	kernelCopy := make([]byte, len(data))
+	kernelCopy := s.net.WireBufs().Get(len(data))
 	copy(kernelCopy, data)
 	peer := c.peer
 	s.net.Deliver(c.host.node, peer.host.node, len(data)+s.cfg.HeaderBytes, func() {
@@ -256,6 +256,15 @@ func (c *Conn) SendRaw(data []byte) error {
 		})
 	})
 	return nil
+}
+
+// Recycle returns a buffer obtained from Recv/RecvRaw/TryRecv to the
+// fabric's wire-buffer free list. Optional: receivers that are done with a
+// message (e.g. after decoding it) call this so the modeled kernel copy of
+// the next message reuses the memory. The caller must drop every reference
+// to buf.
+func (c *Conn) Recycle(buf []byte) {
+	c.host.stack.net.WireBufs().Put(buf)
 }
 
 // SendCost returns the send-side host cost for a message of n bytes; used

@@ -22,4 +22,7 @@ go build ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
+echo "== go test -bench (1 iteration, compile + smoke) =="
+go test -run=NONE -bench=. -benchtime=1x ./...
+
 echo "all checks passed"
