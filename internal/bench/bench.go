@@ -137,6 +137,9 @@ func figOrder(id string) float64 {
 	if strings.HasPrefix(id, "ablation") {
 		return 100
 	}
+	if id == "chaos" {
+		return 200 // failure-handling experiment, after the ablations
+	}
 	if id == "emptyfetch" {
 		return 18.5 // between Fig. 18 and Fig. 19, as in §5.3
 	}

@@ -1,0 +1,247 @@
+// Package chaos is the fault-injection subsystem: a deterministic,
+// seed-driven injector that schedules faults through the simulation clock
+// and applies them via the failure hooks of the lower layers (fabric link
+// state, tcpnet connection resets, rdma QP errors, core broker crash and
+// restart).
+//
+// Determinism is the point. A Plan is a pure value — a seed plus a sorted
+// fault schedule — and every random choice (which QP, which connection) is
+// drawn from the plan's private PRNG at apply time, in schedule order. The
+// same plan against the same cluster therefore injects byte-identically the
+// same faults at the same simulated instants, regardless of host scheduling
+// or worker parallelism, so failure experiments are as reproducible as the
+// fault-free ones.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"kafkadirect/internal/core"
+	"kafkadirect/internal/fabric"
+	"kafkadirect/internal/rdma"
+	"kafkadirect/internal/tcpnet"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// BrokerCrash fail-stops a broker: node unreachable, connections reset,
+	// QPs errored; leader failover follows after FailoverDetectDelay.
+	BrokerCrash Kind = iota
+	// BrokerRestart recovers a crashed broker as a follower (or resumed
+	// leader, if it returns inside the detection window).
+	BrokerRestart
+	// LinkCut severs the path between two nodes (Broker and Peer) and fails
+	// every connection and QP crossing it; LinkRestore heals the path.
+	LinkCut
+	LinkRestore
+	// QPError transitions randomly chosen ready QPs on the target broker's
+	// RNIC to the error state (a local HCA/transport fault).
+	QPError
+	// ConnReset resets randomly chosen open TCP connections on the target
+	// broker's host (a TCP RST).
+	ConnReset
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BrokerCrash:
+		return "broker-crash"
+	case BrokerRestart:
+		return "broker-restart"
+	case LinkCut:
+		return "link-cut"
+	case LinkRestore:
+		return "link-restore"
+	case QPError:
+		return "qp-error"
+	case ConnReset:
+		return "conn-reset"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Fault is one scheduled fault.
+type Fault struct {
+	// At is the simulated injection time.
+	At time.Duration
+	// Kind selects the fault type.
+	Kind Kind
+	// Broker is the target broker id — or, for LinkCut/LinkRestore, one end
+	// of the link (any fabric node name).
+	Broker string
+	// Peer is the other end of the link for LinkCut/LinkRestore (a broker id
+	// or a client node name). Unused otherwise.
+	Peer string
+	// Count is how many victims QPError/ConnReset pick (default 1).
+	Count int
+}
+
+// Plan is a deterministic fault schedule: every random choice the injector
+// makes is drawn from a PRNG seeded with Seed, in schedule order.
+type Plan struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// Injector applies a Plan to a cluster through the simulation clock.
+type Injector struct {
+	cl    *core.Cluster
+	rng   *rand.Rand
+	trace []string
+}
+
+// New schedules every fault of the plan on the cluster's simulation clock
+// and returns the injector. Faults are applied in (time, plan order); the
+// schedule must lie in the future of the simulation clock.
+func New(cl *core.Cluster, plan Plan) *Injector {
+	inj := &Injector{cl: cl, rng: rand.New(rand.NewSource(plan.Seed))}
+	faults := make([]Fault, len(plan.Faults))
+	copy(faults, plan.Faults)
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
+	env := cl.Env()
+	for _, f := range faults {
+		f := f
+		env.At(f.At, func() { inj.apply(f) })
+	}
+	return inj
+}
+
+// Trace returns one line per applied fault — what was injected, when, and
+// which victims the PRNG picked. Identical plans yield identical traces.
+func (inj *Injector) Trace() []string { return inj.trace }
+
+func (inj *Injector) note(format string, args ...any) {
+	now := inj.cl.Env().Now()
+	inj.trace = append(inj.trace, fmt.Sprintf("%9.3fms %s",
+		float64(now)/float64(time.Millisecond), fmt.Sprintf(format, args...)))
+}
+
+// apply executes one fault (in scheduler context, at its scheduled time).
+func (inj *Injector) apply(f Fault) {
+	switch f.Kind {
+	case BrokerCrash:
+		inj.cl.CrashBroker(f.Broker)
+		inj.note("crash %s", f.Broker)
+	case BrokerRestart:
+		inj.cl.RestartBroker(f.Broker)
+		inj.note("restart %s", f.Broker)
+	case LinkCut:
+		inj.cutLink(f)
+	case LinkRestore:
+		a, b := inj.linkEnds(f)
+		inj.cl.Network().RestoreLink(a, b)
+		inj.note("link-restore %s<->%s", f.Broker, f.Peer)
+	case QPError:
+		inj.failQPs(f)
+	case ConnReset:
+		inj.resetConns(f)
+	}
+}
+
+// linkEnds resolves the two fabric nodes a link fault names.
+func (inj *Injector) linkEnds(f Fault) (a, b *fabric.Node) {
+	net := inj.cl.Network()
+	a, b = net.Lookup(f.Broker), net.Lookup(f.Peer)
+	if a == nil || b == nil {
+		panic(fmt.Sprintf("chaos: unknown link end %q or %q", f.Broker, f.Peer))
+	}
+	return a, b
+}
+
+// cutLink severs the fabric path between the two named nodes and fails every
+// live connection and QP crossing it. Endpoints are discovered through the
+// brokers' hosts and RNICs: a Dial registers the connection on both hosts
+// and a QP bundle always has one end on a broker device, so iterating the
+// brokers covers broker-broker and broker-client links alike.
+func (inj *Injector) cutLink(f Fault) {
+	a, b := inj.linkEnds(f)
+	inj.cl.Network().CutLink(a, b)
+	crossing := func(x, y *fabric.Node) bool {
+		return (x == a && y == b) || (x == b && y == a)
+	}
+	conns, qps := 0, 0
+	for _, br := range inj.cl.Brokers() {
+		for _, c := range br.Host().Conns() {
+			if !c.Closed() && crossing(c.Host().Node(), c.Peer().Host().Node()) {
+				c.Reset()
+				conns++
+			}
+		}
+		for _, qp := range br.Device().QPs() {
+			if qp.State() == rdma.QPReady && qp.Remote() != nil &&
+				crossing(qp.Device().Node(), qp.Remote().Device().Node()) {
+				qp.Disconnect()
+				qps++
+			}
+		}
+	}
+	inj.note("link-cut %s<->%s (%d conns, %d qps)", f.Broker, f.Peer, conns, qps)
+}
+
+// failQPs transitions Count randomly chosen ready, non-loopback QPs on the
+// broker's RNIC to the error state.
+func (inj *Injector) failQPs(f Fault) {
+	dev := inj.mustBroker(f.Broker).Device()
+	count := f.Count
+	if count <= 0 {
+		count = 1
+	}
+	for ; count > 0; count-- {
+		var ready []*rdma.QP
+		for _, qp := range dev.QPs() {
+			// Skip loopback pairs (both ends on this device): erroring the
+			// broker's self-produce QP models nothing a transport fault does.
+			if qp.State() == rdma.QPReady && qp.Remote() != nil && qp.Remote().Device() != dev {
+				ready = append(ready, qp)
+			}
+		}
+		if len(ready) == 0 {
+			inj.note("qp-error %s: no ready QPs", f.Broker)
+			return
+		}
+		victim := ready[inj.rng.Intn(len(ready))]
+		peer := victim.Remote().Device().Node().Name()
+		victim.Disconnect()
+		inj.note("qp-error %s: QP %d (peer %s)", f.Broker, victim.Num(), peer)
+	}
+}
+
+// resetConns resets Count randomly chosen open TCP connections on the
+// broker's host.
+func (inj *Injector) resetConns(f Fault) {
+	host := inj.mustBroker(f.Broker).Host()
+	count := f.Count
+	if count <= 0 {
+		count = 1
+	}
+	for ; count > 0; count-- {
+		var open []*tcpnet.Conn
+		for _, c := range host.Conns() {
+			if !c.Closed() {
+				open = append(open, c)
+			}
+		}
+		if len(open) == 0 {
+			inj.note("conn-reset %s: no open connections", f.Broker)
+			return
+		}
+		victim := open[inj.rng.Intn(len(open))]
+		peer := victim.Peer().Host().Node().Name()
+		victim.Reset()
+		inj.note("conn-reset %s: conn to %s", f.Broker, peer)
+	}
+}
+
+func (inj *Injector) mustBroker(id string) *core.Broker {
+	b := inj.cl.Broker(id)
+	if b == nil {
+		panic(fmt.Sprintf("chaos: unknown broker %q", id))
+	}
+	return b
+}

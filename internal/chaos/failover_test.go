@@ -1,0 +1,222 @@
+package chaos_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"kafkadirect/internal/bench"
+	"kafkadirect/internal/chaos"
+	"kafkadirect/internal/client"
+	"kafkadirect/internal/core"
+	"kafkadirect/internal/krecord"
+	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/sim"
+)
+
+// This file holds the end-to-end failure tests: a replicated deployment is
+// driven through a seeded fault plan while a synchronous producer runs, and
+// the surviving log is audited record by record. The tests live outside the
+// chaos package so they can pull in the client and core layers (chaos itself
+// only depends on core and the transports).
+
+// failoverRig is a 3-broker rf=3 deployment matching the bench system rig.
+type failoverRig struct {
+	env *sim.Env
+	cl  *core.Cluster
+}
+
+func newFailoverRig(t *testing.T, push bool) *failoverRig {
+	t.Helper()
+	env := sim.NewEnv(11)
+	opts := core.DefaultOptions()
+	opts.Config.SegmentSize = 64 << 20
+	opts.Config.RDMAProduce = true
+	opts.Config.RDMAConsume = true
+	opts.Config.RDMAReplication = push
+	cl := core.NewCluster(env, opts)
+	cl.AddBrokers(3)
+	if err := cl.CreateTopic("t", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	return &failoverRig{env: env, cl: cl}
+}
+
+func (r *failoverRig) run(fn func(p *sim.Proc)) {
+	r.env.Go("driver", func(p *sim.Proc) {
+		fn(p)
+		r.env.Stop()
+	})
+	r.env.RunUntil(600 * time.Second)
+	r.env.Shutdown()
+	r.cl.Release()
+}
+
+// failoverOutcome summarises one produce-under-crash run.
+type failoverOutcome struct {
+	produced, acked, lost, dups int
+	trace                       []string
+}
+
+// runLeaderCrash produces sequence-numbered records while the partition
+// leader crashes mid-run (and later restarts), then re-consumes the log from
+// offset 0 and audits every acknowledged sequence number.
+func runLeaderCrash(t *testing.T, rdma bool, seed int64) failoverOutcome {
+	t.Helper()
+	r := newFailoverRig(t, rdma)
+	leader := r.cl.LeaderOf("t", 0).ID()
+	inj := chaos.New(r.cl, chaos.Plan{Seed: seed, Faults: []chaos.Fault{
+		{At: 30 * time.Millisecond, Kind: chaos.BrokerCrash, Broker: leader},
+		{At: 100 * time.Millisecond, Kind: chaos.BrokerRestart, Broker: leader},
+	}})
+
+	var out failoverOutcome
+	r.run(func(p *sim.Proc) {
+		e := client.NewEndpoint(r.cl, "cli", client.DefaultConfig())
+		var pr client.Producer
+		var err error
+		if rdma {
+			pr, err = client.NewRDMAProducer(p, e, "t", 0, kwire.AccessExclusive, 1)
+		} else {
+			pr, err = client.NewTCPProducer(p, e, "t", 0, -1, 1)
+		}
+		if err != nil {
+			t.Errorf("producer: %v", err)
+			return
+		}
+		acked := make(map[uint64]bool)
+		maxOffset := int64(-1)
+		seq := uint64(0)
+		for p.Now() < 160*time.Millisecond {
+			val := make([]byte, 8)
+			binary.BigEndian.PutUint64(val, seq)
+			off, perr := pr.Produce(p, krecord.Record{Value: val, Timestamp: 1})
+			if perr == nil {
+				acked[seq] = true
+				if off > maxOffset {
+					maxOffset = off
+				}
+			}
+			seq++
+			p.Sleep(200 * time.Microsecond)
+		}
+		pr.Close()
+		out.produced = int(seq)
+		out.acked = len(acked)
+
+		seen := make(map[uint64]int)
+		c, cerr := client.NewTCPConsumer(p, client.NewEndpoint(r.cl, "auditor", client.DefaultConfig()), "t", 0, 0, "audit")
+		if cerr != nil {
+			t.Errorf("consumer: %v", cerr)
+			return
+		}
+		for c.Position() <= maxOffset {
+			recs, perr := c.Poll(p)
+			if perr != nil {
+				t.Errorf("poll: %v", perr)
+				return
+			}
+			for _, rec := range recs {
+				seen[binary.BigEndian.Uint64(rec.Value)]++
+			}
+		}
+		c.Close()
+		for s := range acked {
+			if seen[s] == 0 {
+				out.lost++
+			}
+		}
+		for _, n := range seen {
+			if n > 1 {
+				out.dups += n - 1
+			}
+		}
+	})
+	out.trace = inj.Trace()
+	return out
+}
+
+// TestLeaderCrashLosesNoAckedRecords is the durability contract under
+// failover, for both datapaths: a mid-run leader crash loses zero
+// acknowledged records, and produce retries re-deliver each record at most a
+// handful of times (at-least-once, bounded by the retry schedule).
+func TestLeaderCrashLosesNoAckedRecords(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rdma bool
+	}{{"tcp", false}, {"rdma", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			out := runLeaderCrash(t, tc.rdma, 1)
+			if out.acked == 0 {
+				t.Fatal("no records acknowledged at all")
+			}
+			// The crash window must not stall the producer for the rest of
+			// the run: most of the 160 ms of produces should succeed.
+			if out.acked < out.produced/2 {
+				t.Fatalf("only %d/%d produces acknowledged — failover did not recover", out.acked, out.produced)
+			}
+			if out.lost != 0 {
+				t.Fatalf("lost %d acknowledged records after leader crash", out.lost)
+			}
+			// Duplicates come only from retries of the handful of produces in
+			// flight around the crash.
+			if out.dups > 3 {
+				t.Fatalf("%d duplicate deliveries — more than the crash-window retries can explain", out.dups)
+			}
+			if len(out.trace) != 2 {
+				t.Fatalf("trace = %q, want crash + restart", out.trace)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism re-runs the same seed and fault plan and requires a
+// byte-identical fault trace and outcome — the whole point of scheduling
+// faults through the simulation clock and drawing victims from the plan's
+// private PRNG.
+func TestChaosDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rdma bool
+	}{{"tcp", false}, {"rdma", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := runLeaderCrash(t, tc.rdma, 7)
+			b := runLeaderCrash(t, tc.rdma, 7)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same plan, different outcomes:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}
+
+// TestChaosBenchTableDeterministic runs the registered chaos experiment
+// twice and requires byte-identical rendered tables (the fault trace is part
+// of the table's notes, so this covers the event trace too).
+func TestChaosBenchTableDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full fault-schedule runs")
+	}
+	ex, ok := bench.Lookup("chaos")
+	if !ok {
+		t.Fatal("chaos experiment not registered")
+	}
+	render := func() string {
+		var buf bytes.Buffer
+		ex.Run().Print(&buf)
+		return buf.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("chaos table not deterministic:\n--- first\n%s--- second\n%s", first, second)
+	}
+	// The table must report zero lost acknowledged records on every datapath.
+	tb := ex.Run()
+	for _, row := range tb.Rows {
+		if row[3] != "0" {
+			t.Fatalf("datapath %s lost %s acked records: %s", row[0], row[3], fmt.Sprint(row))
+		}
+	}
+}

@@ -17,6 +17,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -60,23 +61,36 @@ type Config struct {
 	// RPCMaxInFlight bounds pipelined requests on one classic connection
 	// (Kafka's max.in.flight.requests.per.connection default is 5).
 	RPCMaxInFlight int
+	// RetryBackoff and RetryBackoffMax bound the exponential backoff between
+	// retries of a synchronous operation after a transport failure or leader
+	// change (Kafka's retry.backoff.ms / retry.backoff.max.ms).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// RetryTimeout bounds the total time a synchronous operation keeps
+	// retrying before surfacing the last error (delivery.timeout.ms). Retries
+	// after a lost acknowledgement may duplicate a produced batch: delivery
+	// is at-least-once, as in Kafka without idempotence.
+	RetryTimeout time.Duration
 }
 
 // DefaultConfig returns the calibrated client model.
 func DefaultConfig() Config {
 	return Config{
-		ProduceCPU:     2 * time.Microsecond,
-		ProduceWakeup:  64 * time.Microsecond,
-		CopyBandwidth:  5 << 30,
-		CRCBandwidth:   3 << 30,
-		ConsumeCPU:     1600 * time.Nanosecond,
-		OSUSendCost:    12 * time.Microsecond,
-		OSURecvCost:    15 * time.Microsecond,
-		FetchSize:      2048,
-		FetchMaxBytes:  1 << 20,
-		FetchMaxWait:   5 * time.Millisecond,
-		MaxInFlight:    64,
-		RPCMaxInFlight: 5,
+		ProduceCPU:      2 * time.Microsecond,
+		ProduceWakeup:   64 * time.Microsecond,
+		CopyBandwidth:   5 << 30,
+		CRCBandwidth:    3 << 30,
+		ConsumeCPU:      1600 * time.Nanosecond,
+		OSUSendCost:     12 * time.Microsecond,
+		OSURecvCost:     15 * time.Microsecond,
+		FetchSize:       2048,
+		FetchMaxBytes:   1 << 20,
+		FetchMaxWait:    5 * time.Millisecond,
+		MaxInFlight:     64,
+		RPCMaxInFlight:  5,
+		RetryBackoff:    time.Millisecond,
+		RetryBackoffMax: 32 * time.Millisecond,
+		RetryTimeout:    2 * time.Second,
 	}
 }
 
@@ -135,6 +149,61 @@ func (e *Endpoint) copyTime(n int) time.Duration {
 
 func (e *Endpoint) crcTime(n int) time.Duration {
 	return time.Duration(float64(n) / e.cfg.CRCBandwidth * 1e9)
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling: error classification and retry pacing
+// ---------------------------------------------------------------------------
+
+// Sentinels marking the retryable failure classes. errQPFailed wraps RDMA
+// completion errors (flushed WRs after a QP error); errNotLeader marks
+// responses from a broker that no longer leads the partition.
+var (
+	errQPFailed  = errors.New("client: RDMA transport failed")
+	errNotLeader = errors.New("client: broker is not the partition leader")
+)
+
+// retryableErr reports whether an error is worth retrying through a
+// reconnect: transport failures (the connection or QP died, the peer is
+// currently unreachable) and leadership changes. Protocol and validation
+// errors are permanent.
+func retryableErr(err error) bool {
+	return errors.Is(err, tcpnet.ErrClosed) ||
+		errors.Is(err, tcpnet.ErrUnreachable) ||
+		errors.Is(err, rdma.ErrQPState) ||
+		errors.Is(err, rdma.ErrUnreachable) ||
+		errors.Is(err, errQPFailed) ||
+		errors.Is(err, errNotLeader)
+}
+
+// retrier paces the retries of one logical operation: exponential backoff
+// from RetryBackoff up to RetryBackoffMax, giving up once RetryTimeout of
+// simulated time has elapsed since the operation started.
+type retrier struct {
+	delay    time.Duration
+	max      time.Duration
+	deadline time.Duration
+}
+
+func (e *Endpoint) newRetrier(p *sim.Proc) retrier {
+	return retrier{
+		delay:    e.cfg.RetryBackoff,
+		max:      e.cfg.RetryBackoffMax,
+		deadline: p.Env().Now() + e.cfg.RetryTimeout,
+	}
+}
+
+// wait sleeps one backoff step and doubles the next one; false means the
+// deadline has passed and the caller should surface its last error.
+func (r *retrier) wait(p *sim.Proc) bool {
+	if p.Env().Now()+r.delay > r.deadline {
+		return false
+	}
+	p.Sleep(r.delay)
+	if r.delay *= 2; r.delay > r.max {
+		r.delay = r.max
+	}
+	return true
 }
 
 // ---------------------------------------------------------------------------
@@ -223,7 +292,7 @@ func (t *osuTransport) Send(p *sim.Proc, frame []byte) error {
 func (t *osuTransport) Recv(p *sim.Proc) ([]byte, error) {
 	cqe := t.qp.RecvCQ().Poll(p)
 	if cqe.Status != rdma.StatusOK {
-		return nil, fmt.Errorf("client: OSU transport failed: %v", cqe.Status)
+		return nil, fmt.Errorf("%w: OSU recv %v", errQPFailed, cqe.Status)
 	}
 	p.Sleep(t.e.cfg.OSURecvCost + t.e.copyTime(cqe.ByteLen))
 	frame := t.e.node.Network().WireBufs().Get(cqe.ByteLen)

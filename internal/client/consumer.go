@@ -2,6 +2,7 @@ package client
 
 import (
 	"fmt"
+	"time"
 
 	"kafkadirect/internal/core"
 	"kafkadirect/internal/krecord"
@@ -44,6 +45,12 @@ type RPCConsumer struct {
 	MaxBytesOverride int
 	closed           bool
 
+	// redial re-resolves the partition leader and dials a fresh transport;
+	// Poll retries through it after transport failures and leader changes
+	// (fetches are idempotent, so retrying is always safe). Nil disables
+	// retries.
+	redial func(p *sim.Proc) (Transport, error)
+
 	// Reusable encode/decode state for the poll loop. respMsg.Data is set to
 	// nil whenever records escape to the caller (they alias it), so only the
 	// empty-fetch steady state is fully allocation-free.
@@ -54,32 +61,65 @@ type RPCConsumer struct {
 
 // NewTCPConsumer dials the partition leader over TCP.
 func NewTCPConsumer(p *sim.Proc, e *Endpoint, topic string, part int32, offset int64, group string) (*RPCConsumer, error) {
-	broker, err := e.leader(topic, part)
+	redial := func(p *sim.Proc) (Transport, error) {
+		broker, err := e.leader(topic, part)
+		if err != nil {
+			return nil, err
+		}
+		return NewTCPTransport(p, e, broker)
+	}
+	t, err := redial(p)
 	if err != nil {
 		return nil, err
 	}
-	t, err := NewTCPTransport(p, e, broker)
-	if err != nil {
-		return nil, err
-	}
-	return &RPCConsumer{e: e, t: t, topic: topic, part: part, offset: offset, group: group, LongPoll: true}, nil
+	return &RPCConsumer{e: e, t: t, topic: topic, part: part, offset: offset, group: group, LongPoll: true, redial: redial}, nil
 }
 
 // NewOSUConsumer dials the partition leader over two-sided RDMA.
 func NewOSUConsumer(p *sim.Proc, e *Endpoint, topic string, part int32, offset int64, group string) (*RPCConsumer, error) {
-	broker, err := e.leader(topic, part)
+	redial := func(p *sim.Proc) (Transport, error) {
+		broker, err := e.leader(topic, part)
+		if err != nil {
+			return nil, err
+		}
+		return NewOSUTransport(p, e, broker)
+	}
+	t, err := redial(p)
 	if err != nil {
 		return nil, err
 	}
-	t, err := NewOSUTransport(p, e, broker)
-	if err != nil {
-		return nil, err
-	}
-	return &RPCConsumer{e: e, t: t, topic: topic, part: part, offset: offset, group: group, LongPoll: true}, nil
+	return &RPCConsumer{e: e, t: t, topic: topic, part: part, offset: offset, group: group, LongPoll: true, redial: redial}, nil
 }
 
-// Poll issues one fetch request.
+// Poll issues one fetch request, redialing the (re-resolved) leader with
+// exponential backoff after a transport failure or leader change. Fetches
+// are idempotent — the consumer's offset only advances on success — so
+// retries never skip or duplicate records.
 func (c *RPCConsumer) Poll(p *sim.Proc) ([]krecord.Record, error) {
+	recs, err := c.pollOnce(p)
+	if err == nil || c.redial == nil || !retryableErr(err) {
+		return recs, err
+	}
+	r := c.e.newRetrier(p)
+	for {
+		if !r.wait(p) {
+			return nil, err
+		}
+		c.t.Close()
+		t, derr := c.redial(p)
+		if derr != nil {
+			continue // leaderless or unreachable; keep backing off
+		}
+		c.t = t
+		recs, err = c.pollOnce(p)
+		if err == nil || !retryableErr(err) {
+			return recs, err
+		}
+	}
+}
+
+// pollOnce issues one fetch request.
+func (c *RPCConsumer) pollOnce(p *sim.Proc) ([]krecord.Record, error) {
 	if c.closed {
 		return nil, ErrProducerClosed
 	}
@@ -116,6 +156,9 @@ func (c *RPCConsumer) Poll(p *sim.Proc) ([]krecord.Record, error) {
 		return nil, err
 	}
 	resp := &c.respMsg
+	if resp.Err == kwire.ErrNotLeader {
+		return nil, errNotLeader
+	}
 	if resp.Err != kwire.ErrNone {
 		return nil, resp.Err.Err()
 	}
@@ -277,6 +320,9 @@ func (c *RDMAConsumer) requestAccess(p *sim.Proc) error {
 	if !ok {
 		return fmt.Errorf("client: unexpected access response %T", msg)
 	}
+	if resp.Err == kwire.ErrNotLeader {
+		return errNotLeader
+	}
 	if resp.Err != kwire.ErrNone {
 		return resp.Err.Err()
 	}
@@ -324,7 +370,7 @@ func (c *RDMAConsumer) rdmaRead(p *sim.Proc, dst []byte, addr uint64, rkey uint3
 	}
 	cqe := c.qp.SendCQ().Poll(p)
 	if cqe.Status != rdma.StatusOK {
-		return fmt.Errorf("client: RDMA read failed: %v", cqe.Status)
+		return fmt.Errorf("%w: read %v", errQPFailed, cqe.Status)
 	}
 	return nil
 }
@@ -341,11 +387,61 @@ func (c *RDMAConsumer) refreshMetadata(p *sim.Proc) error {
 	return nil
 }
 
-// Poll performs one consume round: read data if the file has unread bytes,
+// recover re-establishes the consume datapath after a fault: re-resolve the
+// (possibly new) leader, rebuild the QP and control connection, and request
+// read access again at the current offset. The consumer only ever reads
+// committed bytes, so the offset is always present on the new leader.
+func (c *RDMAConsumer) recover(p *sim.Proc) error {
+	broker, err := c.e.leader(c.topic, c.part)
+	if err != nil {
+		return err
+	}
+	qp, session, err := broker.ConnectConsumer(c.e.dev)
+	if err != nil {
+		return err
+	}
+	ctl, err := c.e.host.Dial(p, broker.Host(), core.TCPPort)
+	if err != nil {
+		qp.Disconnect() // let the broker reap the half-built session
+		return err
+	}
+	c.ctl.Close()
+	c.broker, c.qp, c.session, c.ctl = broker, qp, session, ctl
+	// Connection management handshake latency.
+	p.Sleep(100 * time.Microsecond)
+	return c.requestAccess(p)
+}
+
+// Poll performs one consume round, recovering through a reconnect (with
+// exponential backoff, up to RetryTimeout) after a QP failure,
+// control-connection failure, or leader change. Reads are idempotent — the
+// delivery offset only advances when complete batches are returned — so
+// retries never skip or duplicate records.
+func (c *RDMAConsumer) Poll(p *sim.Proc) ([]krecord.Record, error) {
+	recs, err := c.pollOnce(p)
+	if err == nil || !retryableErr(err) {
+		return recs, err
+	}
+	r := c.e.newRetrier(p)
+	for {
+		if !r.wait(p) {
+			return nil, err
+		}
+		if rerr := c.recover(p); rerr != nil {
+			continue // leaderless or unreachable; keep backing off
+		}
+		recs, err = c.pollOnce(p)
+		if err == nil || !retryableErr(err) {
+			return recs, err
+		}
+	}
+}
+
+// pollOnce runs one consume round: read data if the file has unread bytes,
 // otherwise refresh metadata (and hop to the next file when the current one
 // is sealed and fully consumed). It returns any records completed this
 // round; an empty result means "nothing new yet".
-func (c *RDMAConsumer) Poll(p *sim.Proc) ([]krecord.Record, error) {
+func (c *RDMAConsumer) pollOnce(p *sim.Proc) ([]krecord.Record, error) {
 	if c.closed {
 		return nil, ErrProducerClosed
 	}
@@ -412,7 +508,7 @@ func (c *RDMAConsumer) Poll(p *sim.Proc) ([]krecord.Record, error) {
 	for range chunks {
 		cqe := c.qp.SendCQ().Poll(p)
 		if cqe.Status != rdma.StatusOK {
-			return nil, fmt.Errorf("client: RDMA read failed: %v", cqe.Status)
+			return nil, fmt.Errorf("%w: read %v", errQPFailed, cqe.Status)
 		}
 		c.StatDataReads++
 	}

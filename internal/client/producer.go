@@ -55,6 +55,12 @@ type RPCProducer struct {
 	syncUsed bool
 	closed   bool
 
+	// redial re-resolves the partition leader and dials a fresh transport;
+	// synchronous produces retry through it after transport failures and
+	// leader changes. Nil disables retries (NewRPCProducer over a caller-owned
+	// transport).
+	redial func(p *sim.Proc) (Transport, error)
+
 	// Reusable encode/decode state for the steady-state produce loop: the
 	// batch builder, the request message, the frame scratch (Transport.Send
 	// consumes the frame before returning), and the decoded ack. The ack
@@ -73,28 +79,38 @@ func NewRPCProducer(e *Endpoint, t Transport, topic string, part int32, acks int
 
 // NewTCPProducer dials the partition leader and returns a TCP producer.
 func NewTCPProducer(p *sim.Proc, e *Endpoint, topic string, part int32, acks int8, producerID int64) (*RPCProducer, error) {
-	broker, err := e.leader(topic, part)
+	redial := func(p *sim.Proc) (Transport, error) {
+		broker, err := e.leader(topic, part)
+		if err != nil {
+			return nil, err
+		}
+		return NewTCPTransport(p, e, broker)
+	}
+	t, err := redial(p)
 	if err != nil {
 		return nil, err
 	}
-	t, err := NewTCPTransport(p, e, broker)
-	if err != nil {
-		return nil, err
-	}
-	return NewRPCProducer(e, t, topic, part, acks, producerID), nil
+	pr := NewRPCProducer(e, t, topic, part, acks, producerID)
+	pr.redial = redial
+	return pr, nil
 }
 
 // NewOSUProducer dials the partition leader over two-sided RDMA.
 func NewOSUProducer(p *sim.Proc, e *Endpoint, topic string, part int32, acks int8, producerID int64) (*RPCProducer, error) {
-	broker, err := e.leader(topic, part)
+	redial := func(p *sim.Proc) (Transport, error) {
+		broker, err := e.leader(topic, part)
+		if err != nil {
+			return nil, err
+		}
+		return NewOSUTransport(p, e, broker)
+	}
+	t, err := redial(p)
 	if err != nil {
 		return nil, err
 	}
-	t, err := NewOSUTransport(p, e, broker)
-	if err != nil {
-		return nil, err
-	}
-	return NewRPCProducer(e, t, topic, part, acks, producerID), nil
+	pr := NewRPCProducer(e, t, topic, part, acks, producerID)
+	pr.redial = redial
+	return pr, nil
 }
 
 // buildBatch encodes records, charging the producer-side defensive copy
@@ -128,7 +144,10 @@ func (pr *RPCProducer) encodeProduce(batch []byte) []byte {
 	return pr.enc.Encode(pr.corr, &pr.reqMsg)
 }
 
-// Produce sends one produce request and waits for the acknowledgement.
+// Produce sends one produce request and waits for the acknowledgement. After
+// a transport failure or leader change it redials the (re-resolved) leader
+// with exponential backoff until RetryTimeout; a retry after a lost
+// acknowledgement may duplicate the batch (at-least-once delivery).
 func (pr *RPCProducer) Produce(p *sim.Proc, recs ...krecord.Record) (int64, error) {
 	if pr.closed {
 		return 0, ErrProducerClosed
@@ -141,6 +160,30 @@ func (pr *RPCProducer) Produce(p *sim.Proc, recs ...krecord.Record) (int64, erro
 	if err != nil {
 		return 0, err
 	}
+	off, err := pr.produceOnce(p, batch)
+	if err == nil || pr.redial == nil || !retryableErr(err) {
+		return off, err
+	}
+	r := pr.e.newRetrier(p)
+	for {
+		if !r.wait(p) {
+			return 0, err
+		}
+		pr.t.Close()
+		t, derr := pr.redial(p)
+		if derr != nil {
+			continue // leaderless or unreachable; keep backing off
+		}
+		pr.t = t
+		off, err = pr.produceOnce(p, batch)
+		if err == nil || !retryableErr(err) {
+			return off, err
+		}
+	}
+}
+
+// produceOnce runs one request/response exchange for an already-built batch.
+func (pr *RPCProducer) produceOnce(p *sim.Proc, batch []byte) (int64, error) {
 	if err := pr.t.Send(p, pr.encodeProduce(batch)); err != nil {
 		return 0, err
 	}
@@ -157,6 +200,9 @@ func (pr *RPCProducer) Produce(p *sim.Proc, recs ...krecord.Record) (int64, erro
 		return 0, err
 	}
 	p.Sleep(pr.e.cfg.ProduceWakeup)
+	if pr.ackMsg.Err == kwire.ErrNotLeader {
+		return 0, errNotLeader
+	}
 	if pr.ackMsg.Err != kwire.ErrNone {
 		return 0, pr.ackMsg.Err.Err()
 	}
@@ -337,13 +383,24 @@ func (pr *RDMAProducer) Grant() (fileID uint16, writePos, length int64) {
 // reconnect rebuilds the QP bundle after a fatal QP error — InfiniBand
 // access errors move the QP to the error state, so "re-enabling the RDMA
 // datapath by requesting RDMA access again" (§4.2.2) implies a fresh
-// connection.
+// connection. The leader is re-resolved first: after a failover the grants
+// must come from the new leader, and the control connection follows it.
 func (pr *RDMAProducer) reconnect(p *sim.Proc) error {
-	qp, session, err := pr.broker.ConnectProducer(pr.e.dev)
+	broker, err := pr.e.leader(pr.topic, pr.part)
 	if err != nil {
 		return err
 	}
-	pr.qp, pr.session = qp, session
+	qp, session, err := broker.ConnectProducer(pr.e.dev)
+	if err != nil {
+		return err
+	}
+	ctl, err := pr.e.host.Dial(p, broker.Host(), core.TCPPort)
+	if err != nil {
+		qp.Disconnect() // let the broker reap the half-built session
+		return err
+	}
+	pr.ctl.Close()
+	pr.broker, pr.qp, pr.session, pr.ctl = broker, qp, session, ctl
 	for i := range pr.ackBufs {
 		if err := qp.PostRecv(rdma.RQE{WRID: uint64(i), Buf: pr.ackBufs[i]}); err != nil {
 			return err
@@ -355,9 +412,10 @@ func (pr *RDMAProducer) reconnect(p *sim.Proc) error {
 }
 
 // requestAccess performs the TCP control exchange of §4.2.2, (re)acquiring
-// write access to the current head file. A dead QP is re-established first.
+// write access to the current head file. A dead QP or control connection is
+// re-established first (against the re-resolved leader).
 func (pr *RDMAProducer) requestAccess(p *sim.Proc) error {
-	if pr.qp.State() != rdma.QPReady {
+	if pr.qp.State() != rdma.QPReady || pr.ctl.Closed() {
 		if err := pr.reconnect(p); err != nil {
 			return err
 		}
@@ -378,6 +436,9 @@ func (pr *RDMAProducer) requestAccess(p *sim.Proc) error {
 	resp, ok := msg.(*kwire.ProduceAccessResp)
 	if !ok {
 		return fmt.Errorf("client: unexpected access response %T", msg)
+	}
+	if resp.Err == kwire.ErrNotLeader {
+		return errNotLeader
 	}
 	if resp.Err != kwire.ErrNone {
 		return resp.Err.Err()
@@ -479,7 +540,7 @@ func (pr *RDMAProducer) post(order uint16, pos int64, batch []byte) error {
 func (pr *RDMAProducer) recvAck(p *sim.Proc) (*kwire.ProduceResp, error) {
 	cqe := pr.qp.RecvCQ().Poll(p)
 	if cqe.Status != rdma.StatusOK {
-		return nil, fmt.Errorf("client: producer QP failed: %v", cqe.Status)
+		return nil, fmt.Errorf("%w: producer ack %v", errQPFailed, cqe.Status)
 	}
 	buf := pr.ackBufs[cqe.WRID]
 	// Decode before reposting the receive: decoding copies every byte field,
@@ -495,7 +556,11 @@ func (pr *RDMAProducer) recvAck(p *sim.Proc) (*kwire.ProduceResp, error) {
 	return &pr.ackMsg, nil
 }
 
-// Produce writes one batch and waits for the broker's acknowledgement.
+// Produce writes one batch and waits for the broker's acknowledgement. After
+// a QP failure, control-connection failure, or leader change it re-resolves
+// the leader, re-requests access, and retries with exponential backoff until
+// RetryTimeout; a retry after a lost acknowledgement may duplicate the batch
+// (at-least-once delivery).
 func (pr *RDMAProducer) Produce(p *sim.Proc, recs ...krecord.Record) (int64, error) {
 	if pr.closed {
 		return 0, ErrProducerClosed
@@ -511,6 +576,30 @@ func (pr *RDMAProducer) Produce(p *sim.Proc, recs ...krecord.Record) (int64, err
 	// The producer still copies user data defensively (§5.1) — the copy the
 	// paper identifies as part of the irreducible 88 µs overhead.
 	p.Sleep(pr.e.cfg.ProduceCPU + pr.e.copyTime(len(batch)))
+	off, err := pr.produceOnce(p, batch)
+	if err == nil || !retryableErr(err) {
+		return off, err
+	}
+	r := pr.e.newRetrier(p)
+	for {
+		if !r.wait(p) {
+			return 0, err
+		}
+		// Re-establish the datapath (requestAccess reconnects a dead QP or
+		// control connection against the re-resolved leader); failures here
+		// just burn one backoff step.
+		if aerr := pr.requestAccess(p); aerr != nil {
+			continue
+		}
+		off, err = pr.produceOnce(p, batch)
+		if err == nil || !retryableErr(err) {
+			return off, err
+		}
+	}
+}
+
+// produceOnce runs one reserve/write/ack round for an already-encoded batch.
+func (pr *RDMAProducer) produceOnce(p *sim.Proc, batch []byte) (int64, error) {
 	order, pos, err := pr.reserve(p, len(batch))
 	if err != nil {
 		return 0, err
@@ -523,6 +612,9 @@ func (pr *RDMAProducer) Produce(p *sim.Proc, recs ...krecord.Record) (int64, err
 		return 0, err
 	}
 	p.Sleep(pr.e.cfg.ProduceWakeup)
+	if resp.Err == kwire.ErrNotLeader {
+		return 0, errNotLeader
+	}
 	if resp.Err != kwire.ErrNone {
 		return 0, resp.Err.Err()
 	}

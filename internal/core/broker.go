@@ -642,5 +642,20 @@ func (b *Broker) onQPEvent(ev rdma.AsyncEvent) {
 		delete(b.producerSessions, sess.id)
 	case *consumerSession:
 		sess.teardown()
+	case *replAckSession:
+		// A push-replication link died under a live leader (QP fault
+		// injection, or a follower failure the controller will confirm): if
+		// both ends are still up, re-establish the link with a resync after
+		// a reconnect round trip. Crash-driven failures are skipped here —
+		// failover or restart rebuilds those links.
+		link := sess.link
+		pr := link.repl
+		if pr.pt.IsLeader() && !b.cluster.down[b.id] && !b.cluster.down[link.follower.id] {
+			b.env.After(controlRTT, func() {
+				if pr.pt.IsLeader() && pr.pt.pushRepl == pr {
+					pr.addLink(link.follower, true)
+				}
+			})
+		}
 	}
 }

@@ -51,6 +51,9 @@ type Cluster struct {
 
 	topics map[string]*clusterTopic
 	rr     int
+
+	// down marks crashed brokers (fault injection); see controller.go.
+	down map[string]bool
 }
 
 type clusterTopic struct {
@@ -187,7 +190,7 @@ func (c *Cluster) CreateTopic(name string, partitions, replicationFactor int) er
 			} else {
 				for _, id := range replicas[1:] {
 					f := c.broker(id)
-					f.startPullFetcher(f.Partition(name, int32(pi)), leaderBroker)
+					f.startPullFetcher(f.Partition(name, int32(pi)))
 				}
 			}
 		}

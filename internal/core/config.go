@@ -88,6 +88,14 @@ type Config struct {
 	// predecessor never arrived (hole prevention, §4.2.2).
 	ProduceOrderTimeout time.Duration
 
+	// ---- Failure handling ----
+
+	// FailoverDetectDelay is the time between a broker failure and the
+	// controller finishing leader re-election for its partitions: failure
+	// detection (session timeout) plus the election round a real deployment
+	// pays through ZooKeeper/KRaft.
+	FailoverDetectDelay time.Duration
+
 	// ---- Consume ----
 
 	// SlotsPerConsumer is the size of each consumer's metadata slot region.
@@ -123,6 +131,8 @@ func DefaultConfig() Config {
 		ReplicaWriteExtra: 3 * time.Microsecond,
 
 		ProduceOrderTimeout: 2 * time.Millisecond,
+
+		FailoverDetectDelay: 10 * time.Millisecond,
 
 		SlotsPerConsumer: 16,
 		FetchLongPollMax: 10 * time.Millisecond,

@@ -56,6 +56,11 @@ type Partition struct {
 	// pushRepl is the leader-side push replication state (nil unless the
 	// RDMA replication module is enabled and this broker leads the TP).
 	pushRepl *pushReplicator
+
+	// fetcherActive marks a running pull-replication fetcher for this
+	// partition (follower side), so a broker demoted while crashed can start
+	// one on restart without ever doubling up.
+	fetcherActive bool
 }
 
 type offsetWaiter struct {
@@ -150,18 +155,54 @@ func (pt *Partition) recordFollowerLEO(brokerID string, leo int64) {
 	if cur, ok := pt.followerLEO[brokerID]; !ok || leo > cur {
 		pt.followerLEO[brokerID] = leo
 	}
+	pt.recomputeHW()
+}
+
+// recomputeHW advances the high watermark to the minimum log end over the
+// leader and every in-sync replica. Crashed replicas are out of the ISR and
+// do not hold the watermark back; a live replica that has not reported yet
+// does.
+func (pt *Partition) recomputeHW() {
+	down := pt.broker.cluster.down
 	min := pt.log.NextOffset()
 	for _, id := range pt.replicas {
-		if id == pt.broker.id {
+		if id == pt.broker.id || down[id] {
 			continue
 		}
-		if leo, ok := pt.followerLEO[id]; !ok {
+		leo, ok := pt.followerLEO[id]
+		if !ok {
 			return // a replica has not reported yet
-		} else if leo < min {
+		}
+		if leo < min {
 			min = leo
 		}
 	}
 	pt.advanceHW(min)
+}
+
+// truncateToHW discards everything above the high watermark — the Kafka
+// recovery rule a follower applies before resyncing from a (possibly new)
+// leader — and purges per-segment caches of retired segment ids, which later
+// rolls will reuse. The caller holds the partition lock.
+func (pt *Partition) truncateToHW() {
+	// Fold RNIC write extents into the segments first: truncation re-zeroes
+	// the discarded extent of the surviving head and retires later segments,
+	// so the log must know how far their buffers were physically written.
+	for segID, mr := range pt.segWriteMRs {
+		if seg := pt.log.Segment(segID); seg != nil {
+			seg.NoteDirty(mr.Touched())
+		}
+	}
+	removed, err := pt.log.TruncateTo(pt.log.HighWatermark())
+	if err != nil {
+		return // HW always sits on a batch boundary; nothing to do
+	}
+	for _, id := range removed {
+		pt.dropWriteMR(id)
+		pt.dropReadMR(id)
+		delete(pt.slotRefs, id)
+		delete(pt.segReaders, id)
+	}
 }
 
 // advanceHW commits offsets below hw: storage watermark and last-readable

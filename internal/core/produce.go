@@ -506,8 +506,12 @@ func (b *Broker) produceViaSharedFileAsync(p *sim.Proc, pt *Partition, f *rdmaFi
 	pt.release()
 }
 
-// loopbackQP lazily builds the broker's QP pair to itself.
+// loopbackQP lazily builds the broker's QP pair to itself, rebuilding it
+// after a crash/restart cycle killed the old pair.
 func (b *Broker) loopbackQP() *rdma.QP {
+	if b.loopQP != nil && b.loopQP.State() != rdma.QPReady {
+		b.loopQP = nil
+	}
 	if b.loopQP == nil {
 		a := b.dev.CreateQP(rdma.QPConfig{})
 		c := b.dev.CreateQP(rdma.QPConfig{})

@@ -8,6 +8,7 @@ import (
 	"kafkadirect/internal/kwire"
 	"kafkadirect/internal/rdma"
 	"kafkadirect/internal/sim"
+	"kafkadirect/internal/tcpnet"
 )
 
 // This file implements both replication datapaths of §4.3:
@@ -24,6 +25,13 @@ import (
 // operations on the replication path (requesting a new replica file grant
 // after a segment roll).
 const controlRTT = 150 * time.Microsecond
+
+// Replica fetchers back off exponentially between reconnect attempts after a
+// transport failure (leader crash, connection reset, dial refused).
+const (
+	pullRetryMin = 1 * time.Millisecond
+	pullRetryMax = 32 * time.Millisecond
+)
 
 // notifyReplication wakes the push-replication links of a partition, if any.
 // The pull path needs no notification: followers long-poll and the leader's
@@ -43,15 +51,60 @@ func (b *Broker) notifyReplication(pt *Partition) {
 
 // startPullFetcher launches the follower's replica fetcher thread for one
 // partition ("dedicated worker threads that are responsible for keeping
-// local TP copies in-sync with the leader", §4.3.1).
-func (b *Broker) startPullFetcher(pt *Partition, leader *Broker) {
+// local TP copies in-sync with the leader", §4.3.1). The fetcher survives
+// leader failures: on any transport error it backs off, re-resolves the
+// leader from cluster metadata, truncates its log to the high watermark (the
+// failover rule), and redials. It exits only when this broker is promoted to
+// leader of the partition.
+func (b *Broker) startPullFetcher(pt *Partition) {
+	pt.fetcherActive = true
 	b.env.Go(fmt.Sprintf("%s/fetcher/%s", b.id, pt.key()), func(p *sim.Proc) {
-		conn, err := b.host.Dial(p, leader.host, TCPPort)
-		if err != nil {
-			panic("core: replica fetcher dial: " + err.Error())
-		}
+		var conn *tcpnet.Conn
 		var corr uint32
+		backoff := pullRetryMin
+		resync := false
+		fail := func() {
+			if conn != nil {
+				conn.Close()
+				conn = nil
+			}
+			resync = true
+			p.Sleep(backoff)
+			if backoff < pullRetryMax {
+				backoff *= 2
+			}
+		}
 		for {
+			if pt.IsLeader() {
+				// Promoted by failover: the partition no longer pulls.
+				if conn != nil {
+					conn.Close()
+				}
+				pt.fetcherActive = false
+				return
+			}
+			if conn == nil {
+				target := b.cluster.LeaderOf(pt.topic, pt.index)
+				if target == nil || target == b {
+					fail()
+					continue
+				}
+				c2, err := b.host.Dial(p, target.host, TCPPort)
+				if err != nil {
+					fail()
+					continue
+				}
+				conn = c2
+				if resync {
+					// Reconnecting after a failure: the leader may have
+					// changed, so discard uncommitted records and refetch
+					// from the high watermark.
+					pt.acquire(p)
+					pt.truncateToHW()
+					pt.release()
+					resync = false
+				}
+			}
 			corr++
 			req := &kwire.FetchReq{
 				Topic:         pt.topic,
@@ -62,20 +115,30 @@ func (b *Broker) startPullFetcher(pt *Partition, leader *Broker) {
 				ReplicaID:     b.cluster.brokerIndex(b.id),
 			}
 			if err := conn.Send(p, kwire.Encode(corr, req)); err != nil {
-				return
+				fail()
+				continue
 			}
 			raw, err := conn.Recv(p)
 			if err != nil {
-				return
+				fail()
+				continue
 			}
 			_, msg, err := kwire.Decode(raw)
 			if err != nil {
 				continue
 			}
 			resp, ok := msg.(*kwire.FetchResp)
-			if !ok || resp.Err != kwire.ErrNone {
+			if !ok {
 				continue
 			}
+			if resp.Err != kwire.ErrNone {
+				// ErrNotLeader after a failover this fetcher has not seen
+				// yet, or ErrOffsetOutOfRange when its log runs ahead of a
+				// new leader: both resolve by reconnecting with a resync.
+				fail()
+				continue
+			}
+			backoff = pullRetryMin
 			if len(resp.Data) == 0 {
 				continue
 			}
@@ -87,7 +150,8 @@ func (b *Broker) startPullFetcher(pt *Partition, leader *Broker) {
 				return pt.log.AppendReplicated(batch.Raw())
 			}); err != nil {
 				pt.release()
-				return
+				fail()
+				continue
 			}
 			pt.advanceHW(resp.HighWatermark)
 			pt.release()
@@ -121,6 +185,11 @@ type followerLink struct {
 	segID int
 	pos   int
 
+	// resync marks a link re-established after a failure: its worker first
+	// aligns with the follower's surviving log instead of assuming a fresh
+	// pair of heads.
+	resync bool
+
 	// follower-side grant coordinates.
 	fileID   uint16
 	addr     uint64
@@ -143,48 +212,69 @@ func newPushReplicator(b *Broker, pt *Partition) *pushReplicator {
 		if id == b.id {
 			continue
 		}
-		follower := b.cluster.broker(id)
-		link := &followerLink{
-			repl:     pr,
-			follower: follower,
-			credits:  b.cfg.PushCredits,
-			segID:    pt.log.Head().ID(),
-			pos:      pt.log.Head().Len(),
-		}
-		// Leader-side QP: follower acks land on the leader's shared CQ.
-		leaderQP := b.dev.CreateQP(rdma.QPConfig{RecvCQ: b.rdmaCQ, SendDepth: 2 * b.cfg.PushCredits})
-		ack := &replAckSession{b: b, qp: leaderQP, link: link}
-		leaderQP.SetUserData(ack)
-		ack.bufs = make([][]byte, 2*b.cfg.PushCredits)
-		for i := range ack.bufs {
-			ack.bufs[i] = make([]byte, ackPayloadSize)
-			if err := leaderQP.PostRecv(rdma.RQE{WRID: uint64(i), Buf: ack.bufs[i]}); err != nil {
-				panic("core: push link recv: " + err.Error())
-			}
-		}
-		// Follower-side QP: WriteWithImm completions land on the follower's
-		// shared CQ, exactly like RDMA produces.
-		fpt := follower.Partition(pt.topic, pt.index)
-		sess := &replFollowerSession{b: follower, qp: nil, pt: fpt}
-		followerQP := follower.dev.CreateQP(rdma.QPConfig{RecvCQ: follower.rdmaCQ, SendDepth: 2 * b.cfg.PushCredits})
-		sess.qp = followerQP
-		followerQP.SetUserData(sess)
-		// The follower posts exactly its advertised credits: a leader that
-		// overruns them would kill the QP (§4.3.2).
-		for i := 0; i < b.cfg.PushCredits; i++ {
-			if err := followerQP.PostRecv(rdma.RQE{}); err != nil {
-				panic("core: follower credit recv: " + err.Error())
-			}
-		}
-		if err := rdma.Connect(leaderQP, followerQP); err != nil {
-			panic("core: push link connect: " + err.Error())
-		}
-		link.qp = leaderQP
-		link.sess = sess
-		pr.links = append(pr.links, link)
-		b.env.Go(fmt.Sprintf("%s/push/%s/%s", b.id, pt.key(), id), link.run)
+		pr.addLink(b.cluster.broker(id), false)
 	}
 	return pr
+}
+
+// addLink wires a QP pair to one follower and starts its replication worker.
+// With resync (failover or broker restart), the worker first aligns with the
+// follower's surviving log instead of assuming a fresh pair of heads. A
+// still-healthy link to the same follower is left alone; dead ones are
+// pruned so acks and stats never route to an abandoned worker.
+func (pr *pushReplicator) addLink(follower *Broker, resync bool) {
+	b, pt := pr.b, pr.pt
+	kept := pr.links[:0]
+	for _, l := range pr.links {
+		if l.follower == follower {
+			if l.qp.State() == rdma.QPReady {
+				return
+			}
+			continue
+		}
+		kept = append(kept, l)
+	}
+	pr.links = kept
+	link := &followerLink{
+		repl:     pr,
+		follower: follower,
+		credits:  b.cfg.PushCredits,
+		segID:    pt.log.Head().ID(),
+		pos:      pt.log.Head().Len(),
+		resync:   resync,
+	}
+	// Leader-side QP: follower acks land on the leader's shared CQ.
+	leaderQP := b.dev.CreateQP(rdma.QPConfig{RecvCQ: b.rdmaCQ, SendDepth: 2 * b.cfg.PushCredits})
+	ack := &replAckSession{b: b, qp: leaderQP, link: link}
+	leaderQP.SetUserData(ack)
+	ack.bufs = make([][]byte, 2*b.cfg.PushCredits)
+	for i := range ack.bufs {
+		ack.bufs[i] = make([]byte, ackPayloadSize)
+		if err := leaderQP.PostRecv(rdma.RQE{WRID: uint64(i), Buf: ack.bufs[i]}); err != nil {
+			return // freshly created QP died already: give up on the link
+		}
+	}
+	// Follower-side QP: WriteWithImm completions land on the follower's
+	// shared CQ, exactly like RDMA produces.
+	fpt := follower.Partition(pt.topic, pt.index)
+	sess := &replFollowerSession{b: follower, qp: nil, pt: fpt}
+	followerQP := follower.dev.CreateQP(rdma.QPConfig{RecvCQ: follower.rdmaCQ, SendDepth: 2 * b.cfg.PushCredits})
+	sess.qp = followerQP
+	followerQP.SetUserData(sess)
+	// The follower posts exactly its advertised credits: a leader that
+	// overruns them would kill the QP (§4.3.2).
+	for i := 0; i < b.cfg.PushCredits; i++ {
+		if err := followerQP.PostRecv(rdma.RQE{}); err != nil {
+			return
+		}
+	}
+	if err := rdma.Connect(leaderQP, followerQP); err != nil {
+		return
+	}
+	link.qp = leaderQP
+	link.sess = sess
+	pr.links = append(pr.links, link)
+	b.env.Go(fmt.Sprintf("%s/push/%s/%s", b.id, pt.key(), follower.id), link.run)
 }
 
 // onAck processes a follower acknowledgement (invoked from the leader's
@@ -202,8 +292,9 @@ func (l *followerLink) onAck(fileID uint16, leo int64) {
 // grantReplicaFile (re)acquires the follower-side replica file. It models
 // the "get RDMA produce address" control request of §4.3.2 with an
 // in-process grant plus a TCP round trip of latency. On a re-grant the
-// follower seals its head and rolls, mirroring the leader's roll.
-func (l *followerLink) grantReplicaFile(p *sim.Proc, roll bool) {
+// follower seals its head and rolls, mirroring the leader's roll. It reports
+// whether the grant succeeded; on failure the link is abandoned.
+func (l *followerLink) grantReplicaFile(p *sim.Proc, roll bool) bool {
 	p.Sleep(controlRTT)
 	fpt := l.sess.pt
 	fpt.acquire(p)
@@ -214,7 +305,7 @@ func (l *followerLink) grantReplicaFile(p *sim.Proc, roll bool) {
 	mr, err := fpt.segWriteMR(head)
 	if err != nil {
 		fpt.release()
-		panic("core: replica grant: " + err.Error())
+		return false
 	}
 	// Replica grants are routed by QP session at the follower, so the dense
 	// segment id doubles as the file id in the immediate data.
@@ -226,6 +317,43 @@ func (l *followerLink) grantReplicaFile(p *sim.Proc, roll bool) {
 	l.addr = mr.Addr()
 	l.rkey = mr.RKey()
 	l.capacity = head.Capacity()
+	return true
+}
+
+// syncToFollower (re)establishes a link with a follower that already has
+// data, modeling the grant handshake of a rejoin: the follower truncates to
+// its high watermark, grants its current head as the replica file, and
+// reports its log end — which becomes the push position, since leader and
+// follower layouts are byte-identical below it. The reported log end also
+// seeds the leader's replication progress for the follower, so the high
+// watermark can re-advance before any new write flows.
+func (l *followerLink) syncToFollower(p *sim.Proc) bool {
+	p.Sleep(controlRTT)
+	fpt := l.sess.pt
+	fpt.acquire(p)
+	fpt.truncateToHW()
+	head := fpt.log.Head()
+	mr, err := fpt.segWriteMR(head)
+	if err != nil {
+		fpt.release()
+		return false
+	}
+	rf := &replicaFile{id: uint16(head.ID()), segID: head.ID(), mr: mr}
+	l.sess.file = rf
+	leo := fpt.log.NextOffset()
+	pos := head.Len()
+	fpt.release()
+
+	l.fileID = rf.id
+	l.addr = mr.Addr()
+	l.rkey = mr.RKey()
+	l.capacity = head.Capacity()
+	l.segID = rf.segID
+	l.pos = pos
+	l.base = 0
+	l.ackedLEO = leo
+	l.repl.pt.recordFollowerLEO(l.follower.id, leo)
+	return true
 }
 
 // run is the per-follower replication worker: it waits for committed leader
@@ -233,7 +361,13 @@ func (l *followerLink) grantReplicaFile(p *sim.Proc, roll bool) {
 // (§4.3.2 "Batching of RDMA Writes"), and pushes them with WriteWithImm.
 func (l *followerLink) run(p *sim.Proc) {
 	pt := l.repl.pt
-	l.grantReplicaFile(p, false)
+	if l.resync {
+		if !l.syncToFollower(p) {
+			return
+		}
+	} else if !l.grantReplicaFile(p, false) {
+		return
+	}
 	for {
 		seg := pt.log.Segment(l.segID)
 		if l.pos == seg.Len() {
@@ -247,7 +381,9 @@ func (l *followerLink) run(p *sim.Proc) {
 				l.segID++
 				l.pos = 0
 				l.base = 0
-				l.grantReplicaFile(p, true)
+				if !l.grantReplicaFile(p, true) {
+					return
+				}
 				continue
 			}
 			l.cond.Wait(p)

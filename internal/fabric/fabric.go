@@ -56,11 +56,27 @@ type Network struct {
 	cfg  Config
 	node map[string]*Node
 
+	// cut holds severed node pairs (fault injection). Messages already on
+	// the wire when a link is cut still arrive — the model severs future
+	// transmissions only; transport layers (tcpnet, rdma) consult
+	// Reachable and fail their endpoints, which is where loss surfaces.
+	cut map[linkKey]bool
+
 	// wire recycles in-flight message buffers (modeled kernel copies, RDMA
 	// staging, encoded frames) for everything running on this fabric. One
 	// free list per Network is safe without locks: a simulation runs one
 	// process at a time, and each simulation owns its own Network.
 	wire bufpool.List
+}
+
+// linkKey names an unordered node pair.
+type linkKey struct{ a, b string }
+
+func keyFor(a, b *Node) linkKey {
+	if a.name > b.name {
+		a, b = b, a
+	}
+	return linkKey{a.name, b.name}
 }
 
 // New creates a fabric on the given simulation environment.
@@ -87,12 +103,42 @@ func (n *Network) Config() Config { return n.cfg }
 // Buffers from it are not zeroed; see bufpool.List.
 func (n *Network) WireBufs() *bufpool.List { return &n.wire }
 
+// CutLink severs the link between two nodes: subsequent Reachable calls for
+// the pair report false until RestoreLink. The fabric itself keeps delivering
+// messages already handed to Deliver — transports are expected to consult
+// Reachable before transmitting and to fail their endpoints on a cut.
+func (n *Network) CutLink(a, b *Node) {
+	if n.cut == nil {
+		n.cut = make(map[linkKey]bool)
+	}
+	n.cut[keyFor(a, b)] = true
+}
+
+// RestoreLink undoes CutLink for the pair.
+func (n *Network) RestoreLink(a, b *Node) {
+	delete(n.cut, keyFor(a, b))
+}
+
+// Reachable reports whether traffic between the two nodes can currently flow:
+// both ends up and the link between them not cut. A node always reaches
+// itself while it is up (loopback).
+func (n *Network) Reachable(a, b *Node) bool {
+	if a.down || b.down {
+		return false
+	}
+	if a == b || n.cut == nil {
+		return true
+	}
+	return !n.cut[keyFor(a, b)]
+}
+
 // Node is a machine attached to the fabric through one full-duplex port.
 type Node struct {
 	name string
 	net  *Network
 	tx   sim.Pacer // egress port occupancy
 	rx   sim.Pacer // ingress port occupancy
+	down bool      // crashed (fault injection)
 
 	txBytes uint64
 	rxBytes uint64
@@ -120,6 +166,14 @@ func (nd *Node) Network() *Network { return nd.net }
 // TxBytes and RxBytes report cumulative traffic counters (diagnostics).
 func (nd *Node) TxBytes() uint64 { return nd.txBytes }
 func (nd *Node) RxBytes() uint64 { return nd.rxBytes }
+
+// SetDown marks the node crashed (or recovered). While down the node is
+// unreachable from every other node; its port pacers are left untouched so a
+// restart resumes with the same contention state.
+func (nd *Node) SetDown(down bool) { nd.down = down }
+
+// Down reports whether the node is currently marked crashed.
+func (nd *Node) Down() bool { return nd.down }
 
 // serTime returns the serialisation delay of a message of the given size.
 func (n *Network) serTime(bytes int) time.Duration {

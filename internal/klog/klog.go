@@ -116,6 +116,10 @@ type Log struct {
 	nextOffset int64
 	// hwOffset is the high watermark: offsets below it are committed.
 	hwOffset int64
+	// retired holds segments dropped by TruncateTo; their buffers may still
+	// be referenced by in-flight simulated RNIC writes, so they are only
+	// recycled in Release.
+	retired []*Segment
 }
 
 // New creates an empty log with one preallocated head segment.
@@ -282,6 +286,70 @@ func (l *Log) finishAppend(seg *Segment, batch krecord.Batch, start, n int) {
 	l.nextOffset = batch.NextOffset()
 }
 
+// TruncateTo discards every record at or above offset, which must lie on a
+// batch boundary at or above the high watermark — this is Kafka's recovery
+// rule: on leader failover a follower truncates its log to the high watermark
+// and refetches from the new leader, discarding uncommitted records the dead
+// leader never replicated. The segment containing offset becomes the (no
+// longer sealed) head; fully truncated trailing segments are retired and
+// their ids returned so callers can purge per-segment state (MRs, slot refs).
+// Later rolls reuse the retired ids, preserving the id == slice-index
+// invariant of Segment().
+func (l *Log) TruncateTo(offset int64) (removed []int, err error) {
+	if offset >= l.nextOffset {
+		return nil, nil
+	}
+	if offset < l.hwOffset {
+		return nil, ErrOutOfRange
+	}
+	keep := 0
+	for i, s := range l.segments {
+		if s.baseOffset <= offset {
+			keep = i
+		}
+	}
+	seg := l.segments[keep]
+	cut := len(seg.index)
+	for cut > 0 && seg.index[cut-1].nextOffset > offset {
+		cut--
+	}
+	newPos := 0
+	newEnd := seg.baseOffset
+	if cut > 0 {
+		newPos = seg.index[cut-1].endPos
+		newEnd = seg.index[cut-1].nextOffset
+	}
+	if newEnd != offset {
+		return nil, ErrOutOfRange // offset is not a batch boundary
+	}
+	seg.index = seg.index[:cut]
+	// Re-zero the discarded extent: preallocated segment space is guaranteed
+	// zero beyond pos (RDMA-write detection and buffer pooling both rely on
+	// it), and truncated records would otherwise linger as garbage there.
+	extent := seg.pos
+	if seg.dirty > extent {
+		extent = seg.dirty
+	}
+	for i := newPos; i < extent; i++ {
+		seg.buf[i] = 0
+	}
+	if seg.dirty > newPos {
+		seg.dirty = newPos
+	}
+	seg.pos = newPos
+	seg.sealed = false
+	if seg.committed > newPos {
+		seg.committed = newPos
+	}
+	for _, s := range l.segments[keep+1:] {
+		removed = append(removed, s.id)
+		l.retired = append(l.retired, s)
+	}
+	l.segments = l.segments[:keep+1]
+	l.nextOffset = offset
+	return removed, nil
+}
+
 // AdvanceHW moves the high watermark to offset (monotonic; lower values are
 // ignored) and updates each affected segment's last readable byte.
 func (l *Log) AdvanceHW(offset int64) {
@@ -409,15 +477,18 @@ func (l *Log) readUpTo(offset int64, maxBytes int, limit int64) ([]byte, error) 
 // that granted RDMA access must first fold each region's write high-water
 // mark into the segment via NoteDirty.
 func (l *Log) Release() {
-	for _, s := range l.segments {
-		dirty := s.pos
-		if s.dirty > dirty {
-			dirty = s.dirty
+	for _, list := range [2][]*Segment{l.segments, l.retired} {
+		for _, s := range list {
+			dirty := s.pos
+			if s.dirty > dirty {
+				dirty = s.dirty
+			}
+			bufpool.Put(s.buf, dirty)
+			s.buf = nil
 		}
-		bufpool.Put(s.buf, dirty)
-		s.buf = nil
 	}
 	l.segments = nil
+	l.retired = nil
 }
 
 // BytesTotal reports total appended bytes across segments (diagnostics).

@@ -138,9 +138,10 @@ const (
 
 // Errors returned by posting and registration.
 var (
-	ErrQPState   = errors.New("rdma: queue pair not in ready state")
-	ErrSQFull    = errors.New("rdma: send queue full")
-	ErrBadLength = errors.New("rdma: zero-length registration")
+	ErrQPState     = errors.New("rdma: queue pair not in ready state")
+	ErrSQFull      = errors.New("rdma: send queue full")
+	ErrBadLength   = errors.New("rdma: zero-length registration")
+	ErrUnreachable = errors.New("rdma: peer unreachable")
 )
 
 // Device is an RNIC attached to a fabric node. Each simulated machine owns
@@ -169,6 +170,10 @@ type Device struct {
 	// wrFree recycles work-request records (see wrRecord), so the
 	// steady-state PostSend pipeline allocates nothing per WR.
 	wrFree []*wrRecord
+
+	// qps lists every QP ever created on the device, so a device-wide
+	// failure (broker crash, fault injection) can flush all of them.
+	qps []*QP
 }
 
 // AsyncEvent notifies about QP state changes (disconnects, fatal errors).
@@ -460,7 +465,21 @@ func (d *Device) CreateQP(cfg QPConfig) *QP {
 	}
 	cfg.SendCQ.bound = append(cfg.SendCQ.bound, qp)
 	cfg.RecvCQ.bound = append(cfg.RecvCQ.bound, qp)
+	d.qps = append(d.qps, qp)
 	return qp
+}
+
+// QPs returns every queue pair created on the device, in creation order.
+// Fault injectors use it to pick victims deterministically.
+func (d *Device) QPs() []*QP { return d.qps }
+
+// FailAllQPs transitions every QP on the device to the error state, as a
+// host crash or HCA reset would. Each failure cascades to the remote end and
+// flushes posted receives, so peers observe error completions.
+func (d *Device) FailAllQPs(reason string) {
+	for _, qp := range d.qps {
+		qp.fail(reason)
+	}
 }
 
 // Connect transitions a pair of QPs (one per device) to the ready state,
@@ -470,6 +489,11 @@ func (d *Device) CreateQP(cfg QPConfig) *QP {
 func Connect(a, b *QP) error {
 	if a.state != QPInit || b.state != QPInit {
 		return ErrQPState
+	}
+	// The CM exchange cannot complete across a severed path (crashed node or
+	// cut link) — the same check tcpnet applies on Dial.
+	if !a.dev.node.Network().Reachable(a.dev.node, b.dev.node) {
+		return ErrUnreachable
 	}
 	a.remote, b.remote = b, a
 	a.state, b.state = QPReady, QPReady
@@ -521,6 +545,16 @@ func (qp *QP) fail(reason string) {
 		return
 	}
 	qp.state = QPError
+	// Flush posted receives as error completions. Verbs guarantees one
+	// completion per posted WR once a QP enters the error state; dropping
+	// them instead would leak the buffers and leave consumers parked on the
+	// recv CQ forever — exactly how one-sided protocols silently lose data
+	// on failure.
+	rq := qp.rq
+	qp.rq = nil
+	for _, rqe := range rq {
+		qp.recvCQ.push(CQE{QP: qp, WRID: rqe.WRID, Op: OpRecv, Status: StatusFlushed})
+	}
 	qp.dev.emitAsync(AsyncEvent{QP: qp, Reason: reason})
 	if qp.remote != nil && qp.remote.state != QPError {
 		qp.remote.fail("peer disconnect: " + reason)

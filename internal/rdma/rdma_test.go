@@ -505,3 +505,54 @@ func TestRegisteredBytesAccounting(t *testing.T) {
 		t.Fatal("leak after full deregistration")
 	}
 }
+
+func TestQPErrorFlushesPostedReceives(t *testing.T) {
+	// Regression: a QP entering the error state must flush its outstanding
+	// receives as error completions rather than silently dropping them —
+	// otherwise a consumer parked on the recv CQ waits forever and never
+	// learns the transport died.
+	p := newPair(t)
+	p.postRecv(3)
+	p.qa.Disconnect() // cascades to qb, which holds the posted receives
+	p.env.Run()
+	if p.qb.State() != QPError {
+		t.Fatal("qb not in error state")
+	}
+	for i := 0; i < 3; i++ {
+		cqe, ok := p.qb.RecvCQ().TryPoll()
+		if !ok {
+			t.Fatalf("receive %d not flushed", i)
+		}
+		if cqe.Op != OpRecv || cqe.Status != StatusFlushed || cqe.WRID != uint64(i) {
+			t.Fatalf("flushed CQE %d = %+v, want OpRecv/FLUSHED", i, cqe)
+		}
+	}
+	if _, ok := p.qb.RecvCQ().TryPoll(); ok {
+		t.Fatal("extra completion beyond the posted receives")
+	}
+	if err := p.qb.PostRecv(RQE{Buf: make([]byte, 64)}); err != ErrQPState {
+		t.Fatalf("PostRecv after error = %v, want ErrQPState", err)
+	}
+}
+
+func TestConnectFailsWhenPeerUnreachable(t *testing.T) {
+	// The CM exchange cannot complete across a severed path: a QP bundle to a
+	// crashed node or across a cut link must fail to connect, like a TCP dial.
+	env := sim.NewEnv(1)
+	net := fabric.New(env, fabric.DefaultConfig())
+	da := NewDevice(net.NewNode("a"), DefaultCosts())
+	db := NewDevice(net.NewNode("b"), DefaultCosts())
+	db.Node().SetDown(true)
+	if err := Connect(da.CreateQP(QPConfig{}), db.CreateQP(QPConfig{})); err != ErrUnreachable {
+		t.Fatalf("connect to down node = %v, want ErrUnreachable", err)
+	}
+	db.Node().SetDown(false)
+	net.CutLink(da.Node(), db.Node())
+	if err := Connect(da.CreateQP(QPConfig{}), db.CreateQP(QPConfig{})); err != ErrUnreachable {
+		t.Fatalf("connect across cut link = %v, want ErrUnreachable", err)
+	}
+	net.RestoreLink(da.Node(), db.Node())
+	if err := Connect(da.CreateQP(QPConfig{}), db.CreateQP(QPConfig{})); err != nil {
+		t.Fatalf("connect after restore = %v", err)
+	}
+}

@@ -63,8 +63,9 @@ func DefaultConfig() Config {
 
 // Errors returned by connection operations.
 var (
-	ErrClosed     = errors.New("tcpnet: connection closed")
-	ErrNoListener = errors.New("tcpnet: connection refused")
+	ErrClosed      = errors.New("tcpnet: connection closed")
+	ErrNoListener  = errors.New("tcpnet: connection refused")
+	ErrUnreachable = errors.New("tcpnet: host unreachable")
 )
 
 // Stack is the TCP/IP subsystem shared by all hosts on a fabric.
@@ -94,6 +95,7 @@ type Host struct {
 	stack     *Stack
 	node      *fabric.Node
 	listeners map[int]*Listener
+	conns     []*Conn // every conn ever owned by this host (fault injection)
 }
 
 // NewHost attaches a TCP host to a fabric node.
@@ -140,6 +142,9 @@ type message struct {
 // Dial establishes a connection to a listener, costing one handshake round
 // trip of virtual time.
 func (h *Host) Dial(p *sim.Proc, remote *Host, port int) (*Conn, error) {
+	if !h.stack.net.Reachable(h.node, remote.node) {
+		return nil, ErrUnreachable
+	}
 	l, ok := remote.listeners[port]
 	if !ok {
 		return nil, ErrNoListener
@@ -159,8 +164,24 @@ func (h *Host) Dial(p *sim.Proc, remote *Host, port int) (*Conn, error) {
 	local := &Conn{host: h, inbox: sim.NewQueue[message]()}
 	rem := &Conn{host: remote, inbox: sim.NewQueue[message]()}
 	local.peer, rem.peer = rem, local
+	h.conns = append(h.conns, local)
+	remote.conns = append(remote.conns, rem)
 	l.q.Push(rem)
 	return local, nil
+}
+
+// Conns returns every connection ever owned by the host (both dialed and
+// accepted sides), in establishment order. Fault injectors use it to pick
+// victims deterministically; closed conns stay in the list.
+func (h *Host) Conns() []*Conn { return h.conns }
+
+// ResetConns abruptly resets every open connection owned by the host, as a
+// host crash does: both sides observe ErrClosed on their next operation, with
+// no FIN exchanged over the wire.
+func (h *Host) ResetConns() {
+	for _, c := range h.conns {
+		c.Reset()
+	}
 }
 
 // Host returns the host that owns this side of the connection.
@@ -174,6 +195,9 @@ func (c *Conn) Host() *Host { return c.host }
 // kernel performs, and one of the copies RDMA avoids.
 func (c *Conn) Send(p *sim.Proc, data []byte) error {
 	if c.closed || c.peer.closed {
+		return ErrClosed
+	}
+	if !c.host.stack.net.Reachable(c.host.node, c.peer.host.node) {
 		return ErrClosed
 	}
 	s := c.host.stack
@@ -246,6 +270,9 @@ func (c *Conn) SendRaw(data []byte) error {
 	if c.closed || c.peer.closed {
 		return ErrClosed
 	}
+	if !c.host.stack.net.Reachable(c.host.node, c.peer.host.node) {
+		return ErrClosed
+	}
 	s := c.host.stack
 	kernelCopy := s.net.WireBufs().Get(len(data))
 	copy(kernelCopy, data)
@@ -314,6 +341,23 @@ func (c *Conn) Close() {
 		})
 	})
 }
+
+// Reset tears the connection down immediately on both sides, like a TCP RST
+// after a host crash or an injected fault: no FIN crosses the wire, readers
+// parked on either inbox wake with ErrClosed, and in-flight data still in the
+// socket buffers is discarded by subsequent reads.
+func (c *Conn) Reset() {
+	if c.closed && c.peer.closed {
+		return
+	}
+	for _, side := range [2]*Conn{c, c.peer} {
+		side.closed = true
+		side.inbox.Push(message{closed: true})
+	}
+}
+
+// Peer returns the other side of the connection.
+func (c *Conn) Peer() *Conn { return c.peer }
 
 // Closed reports whether this side has been closed locally.
 func (c *Conn) Closed() bool { return c.closed }

@@ -19,6 +19,12 @@ go vet ./...
 echo "== go build ./... =="
 go build ./...
 
+# The failure-handling stack first: the DES kernel, the fault injector, and
+# the broker failover logic are where a data race would corrupt everything
+# downstream, so they gate the full suite.
+echo "== go test -race (sim, chaos, core) =="
+go test -race ./internal/sim/ ./internal/chaos/ ./internal/core/
+
 echo "== go test -race ./... =="
 go test -race ./...
 
