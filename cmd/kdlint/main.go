@@ -1,0 +1,91 @@
+// Command kdlint runs the repo's invariant analyzers (internal/analysis)
+// over Go packages: simclock, maporder, poolalias, errdrop. It is the
+// static half of the determinism story — the dynamic half being the
+// workers=1-vs-8 byte-identical figure suite.
+//
+// Usage:
+//
+//	kdlint [-only name[,name]] [-list] [packages]
+//
+// With no packages, ./... is checked. Exit status: 0 clean, 1 findings,
+// 2 load or typecheck failure. Findings can be suppressed, with a mandatory
+// justification, by `//kdlint:allow <analyzer> <reason>` on the offending
+// line or the line above.
+//
+// kdlint is self-contained (standard library only), so it needs no module
+// downloads: `go run ./cmd/kdlint ./...` works in a fresh checkout with no
+// network, which is how scripts/check.sh and CI invoke it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kafkadirect/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "kdlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kdlint: %v\n", err)
+		os.Exit(2)
+	}
+	// A finding is only trustworthy if its package typechecked: surface
+	// type errors as hard failures rather than analyzing partial ASTs.
+	badTypes := false
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "kdlint: typecheck %s: %v\n", p.PkgPath, te)
+			badTypes = true
+		}
+	}
+	if badTypes {
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "kdlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

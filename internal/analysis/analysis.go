@@ -1,0 +1,221 @@
+// Package analysis is kdlint: a small, dependency-free static-analysis
+// framework plus the four repo-specific analyzers that enforce the
+// simulator's core invariants (see DESIGN.md §8):
+//
+//	simclock  — no wall clock or unseeded randomness in simulated code
+//	maporder  — no order-sensitive work driven by unsorted map iteration
+//	poolalias — no aliasing of pooled wire buffers past their recycle call
+//	errdrop   — no silently discarded transport/replication errors
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) so the analyzers would port to a standard
+// multichecker mechanically, but it is built only on the standard library:
+// this module vendors nothing, and the environments this repo builds in do
+// not assume network access to fetch x/tools.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full kdlint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{SimClock, MapOrder, PoolAlias, ErrDrop}
+}
+
+// A Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos. Findings suppressed by a matching
+// //kdlint:allow directive are filtered by Run, not here.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// simPackages names the packages whose code executes under the simulated
+// clock — where wall-clock time, unseeded randomness, and map-iteration
+// order would silently break the byte-identical reproduction guarantee.
+// Matching is by the final import-path element so that analysistest
+// fixtures (internal/analysis/testdata/src/<name>) exercise the same code
+// path as the real packages.
+var simPackages = map[string]bool{
+	"sim":     true,
+	"fabric":  true,
+	"tcpnet":  true,
+	"rdma":    true,
+	"klog":    true,
+	"core":    true,
+	"client":  true,
+	"chaos":   true,
+	"kwire":   true,
+	"krecord": true,
+	"stream":  true,
+	"bench":   true,
+}
+
+// isSimPackage reports whether pkgPath is one of the simulation packages.
+func isSimPackage(pkgPath string) bool { return simPackages[path.Base(pkgPath)] }
+
+// pkgBase returns the final element of an import path ("kafkadirect/internal/rdma" -> "rdma").
+func pkgBase(pkgPath string) string { return path.Base(pkgPath) }
+
+// ---------------------------------------------------------------------------
+// Allow directives
+// ---------------------------------------------------------------------------
+
+// allowRe matches suppression directives:
+//
+//	//kdlint:allow <analyzer> <justification>
+//
+// A directive suppresses that analyzer's findings on its own line and on the
+// line directly below (so it can sit at the end of the offending line or on
+// its own line above it). The justification is mandatory: an unexplained
+// suppression is itself reported.
+var allowRe = regexp.MustCompile(`^//kdlint:allow\s+([a-z]+)\s*(.*)$`)
+
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+func collectAllows(pkg *Package) []allowDirective {
+	var out []allowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				out = append(out, allowDirective{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					pos:      pkg.Fset.Position(c.Pos()),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (a allowDirective) covers(d Diagnostic) bool {
+	return a.analyzer == d.Analyzer &&
+		a.pos.Filename == d.Pos.Filename &&
+		(a.pos.Line == d.Pos.Line || a.pos.Line == d.Pos.Line-1)
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+// Run applies every analyzer to every package, filters findings through
+// //kdlint:allow directives, and returns the survivors sorted by position.
+// Malformed directives (no justification, unknown analyzer name) are
+// reported as kdlint findings themselves.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+		allows := collectAllows(pkg)
+		for _, d := range raw {
+			suppressed := false
+			for _, a := range allows {
+				if a.covers(d) && a.reason != "" {
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				diags = append(diags, d)
+			}
+		}
+		for _, a := range allows {
+			if a.reason == "" {
+				diags = append(diags, Diagnostic{
+					Analyzer: "kdlint",
+					Pos:      a.pos,
+					Message:  fmt.Sprintf("//kdlint:allow %s needs a justification after the analyzer name", a.analyzer),
+				})
+			} else if !known[a.analyzer] {
+				diags = append(diags, Diagnostic{
+					Analyzer: "kdlint",
+					Pos:      a.pos,
+					Message:  fmt.Sprintf("//kdlint:allow names unknown analyzer %q", a.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+func isTestFile(pkg *Package, pos token.Pos) bool {
+	return strings.HasSuffix(pkg.Fset.Position(pos).Filename, "_test.go")
+}
+
+// enclosingFuncs returns every function declaration and literal in f, for
+// analyzers that reason about one function body at a time.
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd.Body)
+		}
+	}
+	return out
+}

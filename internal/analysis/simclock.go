@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimClock forbids wall-clock time and unseeded (global) randomness inside
+// simulation packages. Every result table in this repo is reproduced from a
+// deterministic discrete-event simulation: the only clock is sim.Env's
+// virtual time and the only randomness is the seeded *rand.Rand the kernel
+// plumbs down (sim.Env.Rand, chaos.Plan.Seed). A single time.Now or global
+// rand.Intn in simulated code desynchronizes runs and silently breaks the
+// byte-identical figure guarantee — at workers=8 it would not even fail
+// loudly, just produce tables that drift between machines.
+//
+// Genuine wall-clock uses (the bench runner timing real elapsed host time,
+// real-time test scaffolding) carry a //kdlint:allow simclock <reason>.
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock time and global math/rand in simulation packages",
+	Run:  runSimClock,
+}
+
+// forbiddenTimeFuncs are the time functions that read or wait on the host
+// clock. Types and constants (time.Duration, time.Millisecond) stay legal:
+// the simulator measures virtual time in time.Duration units.
+var forbiddenTimeFuncs = map[string]string{
+	"Now":       "read the sim clock (Env.Now / Proc.Now) instead",
+	"Since":     "subtract sim timestamps (Env.Now) instead",
+	"Until":     "subtract sim timestamps (Env.Now) instead",
+	"Sleep":     "use Proc.Sleep (virtual time) instead",
+	"After":     "use Env.After / Env.At (virtual time) instead",
+	"AfterFunc": "use Env.After / Env.At (virtual time) instead",
+	"NewTimer":  "use Env.After / Env.At (virtual time) instead",
+	"NewTicker": "schedule repeating Env.After events instead",
+	"Tick":      "schedule repeating Env.After events instead",
+}
+
+// forbiddenRandFuncs are the math/rand package-level functions backed by the
+// global, non-reproducible source. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf) and *rand.Rand methods remain legal — seeded generators are
+// exactly what simulation code is supposed to use.
+var forbiddenRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func runSimClock(pass *Pass) {
+	if !isSimPackage(pass.Pkg.PkgPath) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if hint, bad := forbiddenTimeFuncs[fn.Name()]; bad {
+					pass.Reportf(sel.Pos(), "time.%s is wall clock, which desynchronizes the simulation; %s", fn.Name(), hint)
+				}
+			case "math/rand", "math/rand/v2":
+				// Only package-level functions use the global source;
+				// *rand.Rand methods are the sanctioned seeded path.
+				if fn.Type().(*types.Signature).Recv() == nil && forbiddenRandFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "rand.%s uses the global, unseeded source; use the seeded *rand.Rand plumbed from the sim kernel (Env.Rand)", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Package fabric is a kdlint fixture for the poolalias analyzer. Pool is a
+// minimal stand-in for the wire-buffer pool — the analyzer matches Recycle
+// by shape (a one-argument method taking []byte), so no import of the real
+// bufpool is needed. Touching a buffer after recycling it, or parking an
+// alias in storage that outlives the function, must be flagged; reassignment,
+// early-exit branches, and deferred recycles must pass.
+package fabric
+
+// Pool hands out buffers with Get and takes them back with Recycle.
+type Pool struct{ free [][]byte }
+
+// Get returns a pooled buffer, or a fresh one if the pool is empty.
+func (p *Pool) Get() []byte {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return make([]byte, 64)
+}
+
+// Recycle returns b to the pool; the caller must drop every reference.
+func (p *Pool) Recycle(b []byte) {
+	p.free = append(p.free, b)
+}
+
+// Header reads the frame after returning it to the pool: by then the same
+// memory may already belong to another Get caller.
+func Header(p *Pool) byte {
+	buf := p.Get()
+	p.Recycle(buf)
+	return buf[0] // want `buf was recycled back to the buffer pool`
+}
+
+// Conn retains the last frame it saw.
+type Conn struct{ last []byte }
+
+// Remember stores a sub-slice of a frame in a field while the same function
+// recycles the frame, so the stored alias outlives the buffer's ownership.
+func Remember(c *Conn, p *Pool) {
+	buf := p.Get()
+	c.last = buf[:4] // want `alias of pooled buffer buf stored in c\.last`
+	p.Recycle(buf)
+}
+
+// Refill reuses the name for a fresh buffer after recycling the old one,
+// which ends the recycled buffer's scope; the later read is legal.
+func Refill(p *Pool) byte {
+	buf := p.Get()
+	p.Recycle(buf)
+	buf = p.Get()
+	return buf[0]
+}
+
+// DropEarly recycles on an early-exit branch only; the uses on the
+// fall-through path run before that iteration's recycle and are legal.
+func DropEarly(p *Pool, frames [][]byte) int {
+	n := 0
+	for range frames {
+		buf := p.Get()
+		if len(buf) == 0 {
+			p.Recycle(buf)
+			continue
+		}
+		n += int(buf[0])
+		p.Recycle(buf)
+	}
+	return n
+}
+
+// Deferred recycles at function return, which by construction follows every
+// textual use in the body.
+func Deferred(p *Pool) byte {
+	buf := p.Get()
+	defer p.Recycle(buf)
+	return buf[0]
+}

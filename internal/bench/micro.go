@@ -133,6 +133,15 @@ func fig06(st *Stats) *Table {
 	return t
 }
 
+// mustPost posts wr and panics on failure. Microbench rigs never inject
+// faults, so a rejected work request means the rig itself is miswired — and
+// a figure measured over unposted WRs would be silently wrong.
+func mustPost(qp *rdma.QP, wr rdma.SendWR) {
+	if err := qp.PostSend(wr); err != nil {
+		panic("bench: PostSend failed on a fault-free microbench rig: " + err.Error())
+	}
+}
+
 // microProduceGoodput pushes messages of one size for a fixed count per
 // producer and reports aggregate goodput in GiB/s.
 func microProduceGoodput(st *Stats, m produceMode, size int) float64 {
@@ -169,7 +178,7 @@ func microProduceGoodput(st *Stats, m produceMode, size int) float64 {
 					// A single producer tracks the offset locally.
 					offset = int64((pi*count + i) * size % (48 << 20))
 				case "faa":
-					qp.PostSend(rdma.SendWR{Op: rdma.OpFetchAdd, Local: faaOld,
+					mustPost(qp, rdma.SendWR{Op: rdma.OpFetchAdd, Local: faaOld,
 						RemoteAddr: r.word.Addr(), RKey: r.word.RKey(), Add: uint64(size)})
 					cqe := pollAtomic(p)
 					offset = int64(cqe.Old % uint64(48<<20))
@@ -177,7 +186,7 @@ func microProduceGoodput(st *Stats, m produceMode, size int) float64 {
 					// Compare-and-swap loop: read the last observed value,
 					// attempt to bump it, retry on conflict.
 					for {
-						qp.PostSend(rdma.SendWR{Op: rdma.OpCompSwap, Local: faaOld,
+						mustPost(qp, rdma.SendWR{Op: rdma.OpCompSwap, Local: faaOld,
 							RemoteAddr: r.word.Addr(), RKey: r.word.RKey(),
 							Compare: lastSeen, Swap: lastSeen + uint64(size)})
 						cqe := pollAtomic(p)
@@ -196,7 +205,7 @@ func microProduceGoodput(st *Stats, m produceMode, size int) float64 {
 					}
 					inflight--
 				}
-				qp.PostSend(rdma.SendWR{Op: rdma.OpWriteImm, Local: payload,
+				mustPost(qp, rdma.SendWR{Op: rdma.OpWriteImm, Local: payload,
 					RemoteAddr: r.region.Addr() + uint64(offset), RKey: r.region.RKey(),
 					Imm: uint32(i)})
 				inflight++
@@ -302,14 +311,14 @@ func microNotifyLatency(st *Stats, sendSize, writeSize int) time.Duration {
 
 func doOne(p *sim.Proc, qp *rdma.QP, r *microRig, payload, meta []byte, sendSize int) {
 	if sendSize == 0 {
-		qp.PostSend(rdma.SendWR{Op: rdma.OpWriteImm, Local: payload,
+		mustPost(qp, rdma.SendWR{Op: rdma.OpWriteImm, Local: payload,
 			RemoteAddr: r.region.Addr(), RKey: r.region.RKey(), Imm: 1})
 		qp.SendCQ().Poll(p)
 		return
 	}
-	qp.PostSend(rdma.SendWR{Op: rdma.OpWrite, Local: payload,
+	mustPost(qp, rdma.SendWR{Op: rdma.OpWrite, Local: payload,
 		RemoteAddr: r.region.Addr(), RKey: r.region.RKey(), Unsignaled: true})
-	qp.PostSend(rdma.SendWR{Op: rdma.OpSend, Local: meta})
+	mustPost(qp, rdma.SendWR{Op: rdma.OpSend, Local: meta})
 	qp.SendCQ().Poll(p)
 }
 
@@ -331,13 +340,13 @@ func microNotifyGoodput(st *Stats, sendSize, writeSize int) float64 {
 			}
 			off := uint64(i*writeSize) % uint64(8<<20)
 			if sendSize == 0 {
-				qp.PostSend(rdma.SendWR{Op: rdma.OpWriteImm, Local: payload,
+				mustPost(qp, rdma.SendWR{Op: rdma.OpWriteImm, Local: payload,
 					RemoteAddr: r.region.Addr() + off, RKey: r.region.RKey(), Imm: uint32(i)})
 				inflight++
 			} else {
-				qp.PostSend(rdma.SendWR{Op: rdma.OpWrite, Local: payload,
+				mustPost(qp, rdma.SendWR{Op: rdma.OpWrite, Local: payload,
 					RemoteAddr: r.region.Addr() + off, RKey: r.region.RKey(), Unsignaled: true})
-				qp.PostSend(rdma.SendWR{Op: rdma.OpSend, Local: meta})
+				mustPost(qp, rdma.SendWR{Op: rdma.OpSend, Local: meta})
 				inflight++
 			}
 		}
@@ -399,7 +408,7 @@ func microBatching(st *Stats, maxBatch int) (time.Duration, float64) {
 				inflight--
 			}
 			posted[uint64(i)] = p.Now()
-			qp.PostSend(rdma.SendWR{Op: rdma.OpWriteImm, WRID: uint64(i), Local: payload,
+			mustPost(qp, rdma.SendWR{Op: rdma.OpWriteImm, WRID: uint64(i), Local: payload,
 				RemoteAddr: r.region.Addr() + uint64(i*maxBatch%(32<<20)), RKey: r.region.RKey(), Imm: 1})
 			inflight++
 		}

@@ -178,6 +178,7 @@ func startHeapSampler() (stop func()) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		//kdlint:allow simclock the heap sampler runs on the host clock by design: it profiles the runner process, not the simulation
 		t := time.NewTicker(5 * time.Millisecond)
 		defer t.Stop()
 		for {
@@ -263,8 +264,10 @@ func runExperiment(e Experiment) Result {
 	sampleHeap() // bracket the run even if it outpaces the ticker
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	//kdlint:allow simclock measures real elapsed runner time for the perf trajectory, not simulated time
 	start := time.Now()
 	tbl := e.run(st)
+	//kdlint:allow simclock measures real elapsed runner time for the perf trajectory, not simulated time
 	wall := time.Since(start)
 	runtime.ReadMemStats(&m1)
 	st.allocs = m1.Mallocs - m0.Mallocs

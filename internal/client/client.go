@@ -297,7 +297,15 @@ func (t *osuTransport) Recv(p *sim.Proc) ([]byte, error) {
 	p.Sleep(t.e.cfg.OSURecvCost + t.e.copyTime(cqe.ByteLen))
 	frame := t.e.node.Network().WireBufs().Get(cqe.ByteLen)
 	copy(frame, t.bufs[cqe.WRID][:cqe.ByteLen])
-	_ = t.qp.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: t.bufs[cqe.WRID]})
+	if err := t.qp.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: t.bufs[cqe.WRID]}); err != nil {
+		// The QP died between the completion and the repost. Swallowing this
+		// (the pre-kdlint behaviour) shrinks the receive queue by one each
+		// time; once every buffer leaks out this way, the next Recv blocks
+		// forever instead of failing over. Surface it so the retry layer
+		// reconnects; the in-flight request is re-sent (at-least-once).
+		t.e.node.Network().WireBufs().Put(frame)
+		return nil, fmt.Errorf("%w: repost recv: %v", errQPFailed, err)
+	}
 	return frame, nil
 }
 

@@ -546,7 +546,13 @@ func (pr *RDMAProducer) recvAck(p *sim.Proc) (*kwire.ProduceResp, error) {
 	// Decode before reposting the receive: decoding copies every byte field,
 	// so the buffer can go straight back to the RQ.
 	_, err := kwire.DecodeInto(buf[:cqe.ByteLen], &pr.ackMsg)
-	_ = pr.qp.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: buf})
+	if rerr := pr.qp.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: buf}); rerr != nil {
+		// A failed repost means the QP died under us. Report it rather than
+		// silently losing an RQ slot: the produce retry path reconnects and
+		// re-sends the batch (at-least-once), whereas a shrinking RQ ends
+		// with the producer parked forever on an empty completion queue.
+		return nil, fmt.Errorf("%w: repost ack recv: %v", errQPFailed, rerr)
+	}
 	if err == kwire.ErrKindMismatch {
 		return nil, fmt.Errorf("client: unexpected ack kind")
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"kafkadirect/internal/fabric"
 	"kafkadirect/internal/kwire"
@@ -212,9 +213,12 @@ func (c *Cluster) LeaderOf(topic string, partition int32) *Broker {
 func (c *Cluster) metadata(topics []string) *kwire.MetadataResp {
 	resp := &kwire.MetadataResp{}
 	if len(topics) == 0 {
+		// Sorted so an all-topics response never leaks map iteration order
+		// onto the wire (kdlint: maporder).
 		for name := range c.topics {
 			topics = append(topics, name)
 		}
+		sort.Strings(topics)
 	}
 	for _, name := range topics {
 		ct, ok := c.topics[name]

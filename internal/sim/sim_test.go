@@ -355,6 +355,7 @@ func TestShutdownReleasesGoroutines(t *testing.T) {
 		if runtime.NumGoroutine() <= before+5 {
 			return
 		}
+		//kdlint:allow simclock waits for real goroutine reaping after Shutdown; no simulation is running here
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())

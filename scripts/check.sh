@@ -19,6 +19,12 @@ go vet ./...
 echo "== go build ./... =="
 go build ./...
 
+# kdlint enforces the determinism / zero-copy / error-handling invariants
+# statically (see DESIGN.md §8). It needs the build above: analysis reads
+# compiled export data out of the build cache.
+echo "== kdlint =="
+go run ./cmd/kdlint ./...
+
 # The failure-handling stack first: the DES kernel, the fault injector, and
 # the broker failover logic are where a data race would corrupt everything
 # downstream, so they gate the full suite.
