@@ -1,11 +1,12 @@
 // Package analysis is kdlint: a small, dependency-free static-analysis
-// framework plus the four repo-specific analyzers that enforce the
+// framework plus the five repo-specific analyzers that enforce the
 // simulator's core invariants (see DESIGN.md §8):
 //
-//	simclock  — no wall clock or unseeded randomness in simulated code
-//	maporder  — no order-sensitive work driven by unsorted map iteration
-//	poolalias — no aliasing of pooled wire buffers past their recycle call
-//	errdrop   — no silently discarded transport/replication errors
+//	simclock   — no wall clock or unseeded randomness in simulated code
+//	maporder   — no order-sensitive work driven by unsorted map iteration
+//	poolalias  — no aliasing of pooled wire buffers past their recycle call
+//	errdrop    — no silently discarded transport/replication errors
+//	shardstate — no shared mutable state or unjustified cross-shard access
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) so the analyzers would port to a standard
@@ -33,7 +34,7 @@ type Analyzer struct {
 
 // All returns the full kdlint analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SimClock, MapOrder, PoolAlias, ErrDrop}
+	return []*Analyzer{SimClock, MapOrder, PoolAlias, ErrDrop, ShardState}
 }
 
 // A Pass is one analyzer's view of one package.

@@ -116,6 +116,10 @@ func TestErrDropFixture(t *testing.T) {
 	checkFixture(t, ErrDrop, "klog")
 }
 
+func TestShardStateFixture(t *testing.T) {
+	checkFixture(t, ShardState, "stream")
+}
+
 // TestRepoIsKdlintClean is the meta-test: the shipping tree must carry zero
 // findings under the full suite, so every invariant the fixtures demonstrate
 // also holds repo-wide. This is the same load cmd/kdlint performs.

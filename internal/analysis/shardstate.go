@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardState enforces the sharded kernel's isolation contract (DESIGN.md
+// §2.1): shard event handlers run concurrently, one goroutine per shard, so
+// the only state a handler may touch is state owned by its own shard, and
+// the only way to reach another shard is an explicit handoff
+// (ShardGroup.Post / Broadcast, fabric delivery).
+//
+// Two hazard classes are detectable statically and flagged here:
+//
+//  1. Writes to package-level variables from simulation packages. A
+//     package-level variable is visible to every shard at once; a handler
+//     writing one is a data race under parallel execution and an
+//     execution-order dependence even inline. Writes inside func init are
+//     exempt (they happen before any shard exists). Host-side runner state
+//     that is provably never touched from handlers (worker-pool knobs
+//     guarded by mutexes, experiment registries filled during package init)
+//     carries a //kdlint:allow shardstate <reason>.
+//
+//  2. Calls to ShardGroup.Shard, the accessor that reaches into a specific
+//     shard's kernel. From a handler this is only safe for the handler's
+//     OWN shard; from a drain-context callback it is the sanctioned way to
+//     schedule onto the destination shard. The analyzer cannot see which
+//     shard's Env flows out, so every call site must either be obviously
+//     host-side (setup/teardown) or justify its shard-safety with an allow
+//     directive — making cross-shard reach a reviewed, documented act.
+//
+// Test files are skipped: tests drive ShardGroups from the harness
+// goroutine between runs, where poking shard internals is the point.
+var ShardState = &Analyzer{
+	Name: "shardstate",
+	Doc:  "forbid shared mutable state and unjustified cross-shard access in simulation packages",
+	Run:  runShardState,
+}
+
+func runShardState(pass *Pass) {
+	if !isSimPackage(pass.Pkg.PkgPath) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if len(f.Decls) > 0 && isTestFile(pass.Pkg, f.Decls[0].Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && fd.Name.Name == "init" {
+				continue // runs before any shard exists
+			}
+			checkShardStateBody(pass, fd.Body)
+		}
+	}
+}
+
+func checkShardStateBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if v := globalWritten(pass, lhs); v != nil {
+					pass.Reportf(lhs.Pos(), "write to package-level %s from a simulation package: shards share it; make it shard-local or hand it off", v.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := globalWritten(pass, n.X); v != nil {
+				pass.Reportf(n.X.Pos(), "write to package-level %s from a simulation package: shards share it; make it shard-local or hand it off", v.Name())
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "delete" || id.Name == "clear") && len(n.Args) > 0 {
+				if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					if v := globalWritten(pass, n.Args[0]); v != nil {
+						pass.Reportf(n.Args[0].Pos(), "%s mutates package-level %s from a simulation package: shards share it; make it shard-local or hand it off", id.Name, v.Name())
+					}
+				}
+			}
+			if fn := shardAccessor(pass, n); fn != nil {
+				pass.Reportf(n.Pos(), "ShardGroup.Shard reaches into one shard's kernel; from a handler only the handler's own shard is safe — use Post/Broadcast for cross-shard work, or justify with //kdlint:allow shardstate")
+			}
+		}
+		return true
+	})
+}
+
+// globalWritten resolves the base object of a written expression and returns
+// it if it is a package-level variable (of this package or an imported one).
+func globalWritten(pass *Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// pkg.Var: the variable is the selected name, not the base.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := pass.Pkg.Info.Uses[id].(*types.PkgName); isPkg {
+					e = x.Sel
+					continue
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			v, ok := pass.Pkg.Info.Uses[x].(*types.Var)
+			if !ok || v.Pkg() == nil {
+				return nil
+			}
+			if v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// shardAccessor reports whether call is ShardGroup.Shard (by receiver type
+// name, so fixtures exercise the same path without importing internal/sim).
+func shardAccessor(pass *Pass, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Shard" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "ShardGroup" {
+		return nil
+	}
+	return fn
+}

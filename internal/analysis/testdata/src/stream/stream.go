@@ -1,0 +1,68 @@
+// Package stream is a kdlint fixture for the shardstate analyzer. Writes to
+// package-level state from simulation code must be flagged (shards share
+// it), as must reaching into a shard's kernel through ShardGroup.Shard;
+// init-time writes, shard-local state, and justified sites must pass.
+package stream
+
+// ShardGroup mimics sim.ShardGroup: the analyzer matches the method by
+// receiver type name so the fixture exercises the real code path without
+// importing internal/sim.
+type ShardGroup struct{ envs []*Env }
+
+// Env mimics sim.Env.
+type Env struct{ now int64 }
+
+// Shard returns one shard's kernel.
+func (g *ShardGroup) Shard(i int) *Env { return g.envs[i] }
+
+// At schedules fn (fixture stub).
+func (e *Env) At(at int64, fn func()) { fn() }
+
+var (
+	total    uint64
+	inflight = map[string]int{}
+	peers    []string
+	limit    = 64 // set once in init, never written after
+)
+
+func init() {
+	limit = 128 // pre-shard setup is exempt
+	peers = append(peers, "seed")
+}
+
+// handler is a shard event handler mutating state every shard can see.
+func handler(name string) {
+	total++                     // want `write to package-level total`
+	inflight[name] = 1          // want `write to package-level inflight`
+	delete(inflight, name)      // want `delete mutates package-level inflight`
+	clear(inflight)             // want `clear mutates package-level inflight`
+	peers = append(peers, name) // want `write to package-level peers`
+}
+
+// localState keeps everything on the handler's own stack/struct: legal.
+func localState(name string) int {
+	seen := map[string]int{}
+	seen[name]++
+	n := 0
+	n += len(seen) + limit // reading a package-level var is fine
+	return n
+}
+
+// crossShard reaches into a specific shard's kernel from open code.
+func crossShard(g *ShardGroup, dst int) {
+	g.Shard(dst).At(0, func() {}) // want `ShardGroup\.Shard reaches into one shard's kernel`
+}
+
+// drainHandoff is a sanctioned drain-context use, justified at the site.
+func drainHandoff(g *ShardGroup, dst int) {
+	//kdlint:allow shardstate drain context: runs on dst between windows in this fixture's scenario
+	g.Shard(dst).At(0, func() {})
+}
+
+// ownShard is a SNode.Env-style accessor; the receiver type is not
+// ShardGroup, so the int-returning Shard method of other types stays legal.
+type node struct{ shard int }
+
+func (n *node) Shard() int { return n.shard }
+
+func ownShard(n *node) int { return n.Shard() }

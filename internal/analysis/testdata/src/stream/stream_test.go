@@ -1,0 +1,16 @@
+package stream
+
+import "testing"
+
+// Test files are exempt: tests drive ShardGroups from the harness goroutine
+// between runs, where mutating globals and poking shard kernels is the point.
+func TestHarnessSidePokes(t *testing.T) {
+	total = 0
+	inflight["x"] = 1
+	delete(inflight, "x")
+	g := &ShardGroup{envs: []*Env{{}}}
+	g.Shard(0).At(0, func() {})
+	if total != 0 {
+		t.Fatal("total")
+	}
+}

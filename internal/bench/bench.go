@@ -114,6 +114,7 @@ type Experiment struct {
 var registry []Experiment
 
 func register(id, title string, run func(st *Stats) *Table) {
+	//kdlint:allow shardstate experiment registry filled from package init functions only, before any simulation exists
 	registry = append(registry, Experiment{
 		ID:    id,
 		Title: title,
@@ -139,6 +140,9 @@ func figOrder(id string) float64 {
 	}
 	if id == "chaos" {
 		return 200 // failure-handling experiment, after the ablations
+	}
+	if id == "scale" {
+		return 300 // simulator-scaling figure, last: it is about the harness
 	}
 	if id == "emptyfetch" {
 		return 18.5 // between Fig. 18 and Fig. 19, as in §5.3

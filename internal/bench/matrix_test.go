@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestDeterminismMatrix is the cross-knob determinism gate: the rendered
+// tables must be byte-identical for every combination of the two resource
+// knobs — worker-pool size (data points per figure run concurrently) and
+// shard-execution parallelism (goroutines executing shard windows inside a
+// sharded simulation). workers x shards sweeps {1,8} x {1,4,8}.
+//
+// By default a curated set of figures runs (the fastest figure from each
+// family plus the sharded-kernel scale figure, which is the one that
+// actually exercises SetShardParallel); set KD_MATRIX_FULL=1 to sweep every
+// registered figure — several minutes of wall time, the full acceptance
+// gate for a kernel change.
+func TestDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full figures many times")
+	}
+	var exps []Experiment
+	if os.Getenv("KD_MATRIX_FULL") != "" {
+		exps = Experiments()
+	} else {
+		for _, id := range []string{"chaos", "fig08", "fig18", "scale"} {
+			e, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("%s not registered", id)
+			}
+			exps = append(exps, e)
+		}
+	}
+	render := func(workers, shards int) string {
+		SetShardParallel(shards)
+		defer SetShardParallel(1)
+		results := RunExperiments(exps, workers)
+		var buf bytes.Buffer
+		for _, r := range results {
+			r.Table.Print(&buf)
+		}
+		return buf.String()
+	}
+	base := render(1, 1)
+	if base == "" {
+		t.Fatal("rendered tables are empty")
+	}
+	for _, workers := range []int{1, 8} {
+		for _, shards := range []int{1, 4, 8} {
+			if workers == 1 && shards == 1 {
+				continue
+			}
+			if got := render(workers, shards); got != base {
+				t.Errorf("workers=%d shards=%d: tables differ from workers=1 shards=1 (%d vs %d bytes)",
+					workers, shards, len(got), len(base))
+			}
+		}
+	}
+}

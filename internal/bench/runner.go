@@ -28,6 +28,46 @@ type Stats struct {
 	// process counters, so treat them as an upper bound per figure.
 	allocs     uint64
 	allocBytes uint64
+
+	// points carries per-data-point wall-clock measurements (the scale
+	// figure records one per cell). Wall-clock numbers are banned from
+	// table content — tables must be byte-identical run over run — so this
+	// is their only way into BENCH_figs.json.
+	pointsMu sync.Mutex
+	points   []PerfPoint
+}
+
+// PerfPoint is one wall-clock performance measurement of a simulation cell:
+// how fast the host executed it, never what the simulation computed.
+type PerfPoint struct {
+	Label    string  `json:"label"`
+	Shards   int     `json:"shards"`                   // shard count of the cell
+	Parallel int     `json:"parallel"`                 // worker goroutines executing shards
+	Events   uint64  `json:"events"`                   // simulator events dispatched
+	Handoffs uint64  `json:"handoffs"`                 // cross-shard handoffs delivered
+	WallMS   float64 `json:"wall_ms"`                  // host wall time for the cell
+	PerSec   float64 `json:"events_per_sec"`           // aggregate event rate
+	PerShard float64 `json:"events_per_sec_per_shard"` // PerSec / Shards
+}
+
+// AddPoint records one per-cell measurement (safe from parallel data points).
+func (s *Stats) AddPoint(p PerfPoint) {
+	if s == nil {
+		return
+	}
+	s.pointsMu.Lock()
+	s.points = append(s.points, p)
+	s.pointsMu.Unlock()
+}
+
+// Points returns the recorded per-cell measurements.
+func (s *Stats) Points() []PerfPoint {
+	if s == nil {
+		return nil
+	}
+	s.pointsMu.Lock()
+	defer s.pointsMu.Unlock()
+	return append([]PerfPoint(nil), s.points...)
 }
 
 // AddEvents adds n executed simulator events (rigs call this at teardown).
@@ -73,6 +113,7 @@ type Result struct {
 	PeakHeap   uint64 // peak heap bytes sampled while active
 	Allocs     uint64 // heap allocations during the run (see Stats)
 	AllocBytes uint64 // bytes allocated during the run (see Stats)
+	Points     []PerfPoint
 }
 
 // EventsPerSec is the wall-clock event rate of the run.
@@ -101,9 +142,11 @@ func SetWorkers(n int) {
 	workerMu.Lock()
 	defer workerMu.Unlock()
 	if n <= 1 {
+		//kdlint:allow shardstate host-side pool knob guarded by workerMu; set between runs, never from simulated handlers
 		workerSem = nil
 		return
 	}
+	//kdlint:allow shardstate host-side pool knob guarded by workerMu; set between runs, never from simulated handlers
 	workerSem = make(chan struct{}, n)
 }
 
@@ -111,6 +154,35 @@ func currentSem() chan struct{} {
 	workerMu.Lock()
 	defer workerMu.Unlock()
 	return workerSem
+}
+
+// shardParallel is the execution parallelism applied to sharded simulations
+// (sim.ShardGroup.SetParallel): how many OS-scheduled goroutines execute
+// shard windows concurrently. Like the worker pool it is a pure resource
+// knob — results are byte-identical for every value.
+var (
+	shardMu       sync.Mutex
+	shardParallel = 1
+)
+
+// SetShardParallel configures shard-execution parallelism for sharded
+// experiments. n <= 0 selects GOMAXPROCS. Process-global; change it only
+// between runs.
+func SetShardParallel(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	shardMu.Lock()
+	//kdlint:allow shardstate host-side parallelism knob guarded by shardMu; set between runs, never from simulated handlers
+	shardParallel = n
+	shardMu.Unlock()
+}
+
+// ShardParallel reports the configured shard-execution parallelism.
+func ShardParallel() int {
+	shardMu.Lock()
+	defer shardMu.Unlock()
+	return shardParallel
 }
 
 // forEach runs fn(0..n-1), each call a data point. Sequential mode runs the
@@ -254,10 +326,12 @@ func RunExperiments(exps []Experiment, workers int) []Result {
 func runExperiment(e Experiment) Result {
 	st := &Stats{}
 	activeMu.Lock()
+	//kdlint:allow shardstate host-side heap-sampler registry guarded by activeMu; experiments never touch it from simulated handlers
 	activeStats[st] = struct{}{}
 	activeMu.Unlock()
 	defer func() {
 		activeMu.Lock()
+		//kdlint:allow shardstate host-side heap-sampler registry guarded by activeMu; experiments never touch it from simulated handlers
 		delete(activeStats, st)
 		activeMu.Unlock()
 	}()
@@ -282,5 +356,6 @@ func runExperiment(e Experiment) Result {
 		PeakHeap:   st.PeakHeap(),
 		Allocs:     st.allocs,
 		AllocBytes: st.allocBytes,
+		Points:     st.Points(),
 	}
 }

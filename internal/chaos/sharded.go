@@ -1,0 +1,120 @@
+// Sharded fault injection: applying a Plan to a core.ShardedCluster.
+//
+// The sharded kernel cannot tolerate an injector that walks the cluster and
+// mutates whatever it finds at apply time — that is shared-state access from
+// one shard into every other. Instead, the whole plan is compiled BEFORE the
+// run into canonical broadcasts: for each fault the compiler updates a
+// schedule-time mirror of the topology (who is down, who leads what), decides
+// the outcome (which replica each crashed leader's partitions fail over to),
+// and schedules the per-shard view flips at the right virtual instants
+// (crash at t, detection and leadership movement at t+DetectDelay). Every
+// shard then observes identical control state at identical virtual times,
+// with zero cross-shard memory traffic — and the fault schedule, like
+// everything else, is independent of the shard layout.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kafkadirect/internal/core"
+)
+
+// ApplySharded compiles the plan onto the sharded cluster. It must be called
+// after core.NewShardedCluster and before the group runs. The returned trace
+// has one line per fault — what was injected, when, and where leadership
+// moved — and is identical for identical plans, regardless of shard count.
+//
+// Fault.Broker and Fault.Peer name fabric nodes ("broker-007",
+// "client-0012"). QPError and ConnReset have no equivalent in the capacity
+// model (it has no connection or QP objects) and are traced as skipped.
+func ApplySharded(sc *core.ShardedCluster, plan Plan) []string {
+	faults := make([]Fault, len(plan.Faults))
+	copy(faults, plan.Faults)
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
+
+	cfg := sc.Config()
+	// Schedule-time mirror of the topology the broadcasts will create.
+	down := make([]bool, cfg.Brokers)
+	leader := make([]int, sc.Partitions())
+	for p := range leader {
+		leader[p] = sc.Replicas(p)[0]
+	}
+
+	var trace []string
+	note := func(at time.Duration, format string, args ...any) {
+		trace = append(trace, fmt.Sprintf("%9.3fms %s",
+			float64(at)/float64(time.Millisecond), fmt.Sprintf(format, args...)))
+	}
+	mustBroker := func(name string) int {
+		idx, ok := sc.BrokerIndex(name)
+		if !ok {
+			panic(fmt.Sprintf("chaos: unknown broker %q", name))
+		}
+		return idx
+	}
+
+	for _, f := range faults {
+		switch f.Kind {
+		case BrokerCrash:
+			idx := mustBroker(f.Broker)
+			if down[idx] {
+				note(f.At, "crash %s: already down", f.Broker)
+				continue
+			}
+			down[idx] = true
+			sc.ScheduleCrash(f.At, idx)
+			sc.ScheduleDetect(f.At+cfg.DetectDelay, idx, true)
+			moved, stranded := 0, 0
+			for p := range leader {
+				if leader[p] != idx {
+					continue
+				}
+				next := -1
+				for _, r := range sc.Replicas(p) {
+					if !down[r] {
+						next = r
+						break
+					}
+				}
+				if next < 0 {
+					stranded++ // every replica down: partition unavailable
+					continue
+				}
+				leader[p] = next
+				sc.ScheduleLeaderFlip(f.At+cfg.DetectDelay, p, next)
+				moved++
+			}
+			note(f.At, "crash %s (%d partitions fail over at +%v, %d stranded)",
+				f.Broker, moved, cfg.DetectDelay, stranded)
+		case BrokerRestart:
+			idx := mustBroker(f.Broker)
+			if !down[idx] {
+				note(f.At, "restart %s: not down", f.Broker)
+				continue
+			}
+			down[idx] = false
+			sc.ScheduleRestart(f.At, idx)
+			sc.ScheduleDetect(f.At+cfg.DetectDelay, idx, false)
+			note(f.At, "restart %s (follower; rejoins quorums at +%v)",
+				f.Broker, cfg.DetectDelay)
+		case LinkCut, LinkRestore:
+			a, b := sc.Net().Lookup(f.Broker), sc.Net().Lookup(f.Peer)
+			if a == nil || b == nil {
+				panic(fmt.Sprintf("chaos: unknown link end %q or %q", f.Broker, f.Peer))
+			}
+			if f.Kind == LinkCut {
+				sc.Net().ScheduleCutLink(f.At, a, b)
+				note(f.At, "link-cut %s<->%s", f.Broker, f.Peer)
+			} else {
+				sc.Net().ScheduleRestoreLink(f.At, a, b)
+				note(f.At, "link-restore %s<->%s", f.Broker, f.Peer)
+			}
+		case QPError, ConnReset:
+			note(f.At, "%s %s: skipped (no transport objects in the sharded capacity model)",
+				f.Kind, f.Broker)
+		}
+	}
+	return trace
+}

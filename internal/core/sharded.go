@@ -1,0 +1,687 @@
+// Sharded cluster model: a KafkaDirect-style replicated-log cluster that
+// runs on the sharded kernel (sim.ShardGroup + fabric.ShardedNet), built for
+// the scale regime the single-Env stack cannot reach — hundreds of brokers,
+// a thousand clients — while keeping results byte-identical for every shard
+// count.
+//
+// It is a CAPACITY model, not a port of the full broker: the tcpnet/rdma
+// transports assume synchronous access to both endpoints (Dial mutates the
+// remote listener, sends read the peer's state), which cannot be sharded
+// without giving up either fidelity or determinism. What this model keeps is
+// the structure the paper's evaluation depends on — per-partition replicated
+// logs with acks=all commit semantics, paced broker CPUs and NIC ports,
+// closed-loop producers, crash/failover with a detection delay — with every
+// piece of state owned by exactly one shard:
+//
+//   - a broker's logs and CPU pacer live on the broker's shard;
+//   - a client's progress lives on the client's shard;
+//   - control-plane facts everyone needs (which brokers are detected down,
+//     who leads each partition, the epoch) are REPLICATED per shard and
+//     flipped by canonical broadcasts at precomputed virtual times, so every
+//     shard observes identical control state at every instant without
+//     sharing memory.
+//
+// All data-plane interaction crosses shards exclusively through
+// fabric.ShardedNet deliveries with pooled message records, so the steady
+// state allocates nothing and the canonical handoff order makes the whole
+// simulation independent of the shard layout.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kafkadirect/internal/fabric"
+	"kafkadirect/internal/sim"
+)
+
+// ShardedConfig parameterises a sharded cluster.
+type ShardedConfig struct {
+	Brokers          int
+	ClientsPerBroker int
+	// RF is the replication factor; commits require acknowledgements from
+	// every replica not detected down (acks=all, the paper's durable mode).
+	RF int
+	// RecordSize is the produced record payload in bytes.
+	RecordSize int
+	// ServiceTime is the broker CPU cost of handling one record (append or
+	// replica append); it bounds per-broker throughput like the paper's
+	// receive-side request processing.
+	ServiceTime time.Duration
+	// RTO is the client retransmission timeout.
+	RTO time.Duration
+	// DetectDelay is the failure-detection delay: a crash at t changes
+	// leadership and commit quorums at t+DetectDelay, mirroring
+	// Config.FailoverDetectDelay in the full stack.
+	DetectDelay time.Duration
+	Net         fabric.Config
+	Seed        int64
+}
+
+// DefaultShardedConfig returns the scale-sweep defaults for a cluster of the
+// given size: the paper's fabric with a fatter 2 µs propagation delay (a
+// multi-rack deployment — and a fatter conservative lookahead window).
+func DefaultShardedConfig(brokers int) ShardedConfig {
+	net := fabric.DefaultConfig()
+	net.PropDelay = 2 * time.Microsecond
+	return ShardedConfig{
+		Brokers:          brokers,
+		ClientsPerBroker: 4,
+		RF:               3,
+		RecordSize:       1024,
+		ServiceTime:      2 * time.Microsecond,
+		RTO:              4 * time.Millisecond,
+		DetectDelay:      10 * time.Millisecond,
+		Net:              net,
+		Seed:             1,
+	}
+}
+
+// scView is one shard's replica of the control plane. Broadcasts mutate it
+// at canonical instants; everything on the shard reads it synchronously.
+type scView struct {
+	detected []bool   // detected[b]: broker b is detected down
+	leader   []int    // leader[p]: broker index leading partition p
+	epoch    []uint64 // epoch[p]: bumped on every leadership change
+}
+
+// spart is one broker's replica state for one partition.
+type spart struct {
+	appended  uint64 // highest record stored
+	committed uint64 // highest record replicated to the live replica set
+	// Leader-only pending state (one outstanding record per partition:
+	// clients are closed-loop with window 1).
+	pendSeq  uint64
+	pendAcks uint32 // bitmask over replica positions
+	pendXmit uint64 // client transmission to acknowledge
+}
+
+// SBroker is a broker in the sharded model; all state is owned by its shard.
+type SBroker struct {
+	cl      *ShardedCluster
+	idx     int
+	node    *fabric.SNode
+	cpu     sim.Pacer
+	parts   map[int]*spart // partitions this broker replicates
+	partIDs []int          // keys of parts in ascending order (deterministic sweeps)
+}
+
+// SClient is a closed-loop producer pinned to one partition.
+type SClient struct {
+	cl   *ShardedCluster
+	idx  int
+	part int
+	node *fabric.SNode
+
+	sent      uint64 // transmissions, including retries
+	acked     uint64 // highest acknowledged (committed) sequence
+	retries   uint64
+	redirects uint64
+	xmit      uint64 // transmission counter, guards stale responses
+	watchXmit uint64 // transmission seen by the last watchdog tick
+}
+
+// scMsg is the pooled message record for every model interaction: fabric
+// deliveries, broker CPU completions, and client timeouts all reuse it.
+type scMsg struct {
+	cl        *ShardedCluster
+	kind      uint8
+	part      int
+	src       int // originator index (client or broker, per kind)
+	dst       int // addressee index — the node whose shard processes the message
+	seq       uint64
+	committed uint64
+	epoch     uint64
+	xmit      uint64 // client transmission (acks echo it; timeouts guard on it)
+}
+
+const (
+	msgProduce     = iota // client src -> broker dst: append record seq
+	msgProduceDone        // broker dst: CPU completion of a produce
+	msgRepl               // leader src -> follower dst: replica append
+	msgReplDone           // follower dst: CPU completion of a replica append
+	msgReplAck            // follower src -> leader dst: replica acknowledged
+	msgAck                // leader src -> client dst: record committed
+	msgRedirect           // broker src -> client dst: not leader, retry
+	msgTimeout            // client dst: retransmission timer
+)
+
+// ShardedCluster wires brokers, clients, partitions, and per-shard views.
+type ShardedCluster struct {
+	cfg ShardedConfig
+	g   *sim.ShardGroup
+	net *fabric.ShardedNet
+
+	brokers  []*SBroker
+	clients  []*SClient
+	replicas [][]int // replicas[p]: broker indices, position 0 = initial leader
+	views    []*scView
+	pools    [][]*scMsg // per-shard free lists (dst-release discipline)
+}
+
+// NewShardedCluster builds the model on the given group: one partition per
+// client, client i's partition led by broker i%B with RF successive brokers
+// as its replica set; brokers and clients round-robin across shards.
+func NewShardedCluster(g *sim.ShardGroup, cfg ShardedConfig) *ShardedCluster {
+	if cfg.RF <= 0 || cfg.RF > cfg.Brokers {
+		panic(fmt.Sprintf("core: replication factor %d with %d brokers", cfg.RF, cfg.Brokers))
+	}
+	if cfg.RF > 32 {
+		panic("core: replication factor above 32 (ack bitmask)")
+	}
+	sc := &ShardedCluster{cfg: cfg, g: g, net: fabric.NewSharded(g, cfg.Net)}
+	shards := g.Shards()
+	nParts := cfg.Brokers * cfg.ClientsPerBroker
+	for s := 0; s < shards; s++ {
+		sc.views = append(sc.views, &scView{
+			detected: make([]bool, cfg.Brokers),
+			leader:   make([]int, nParts),
+			epoch:    make([]uint64, nParts),
+		})
+	}
+	sc.pools = make([][]*scMsg, shards)
+	for i := 0; i < cfg.Brokers; i++ {
+		b := &SBroker{
+			cl:    sc,
+			idx:   i,
+			node:  sc.net.NewNode(fmt.Sprintf("broker-%03d", i), i%shards),
+			parts: make(map[int]*spart),
+		}
+		sc.brokers = append(sc.brokers, b)
+	}
+	for p := 0; p < nParts; p++ {
+		lead := p % cfg.Brokers
+		reps := make([]int, cfg.RF)
+		for r := range reps {
+			reps[r] = (lead + r) % cfg.Brokers
+			br := sc.brokers[reps[r]]
+			br.parts[p] = &spart{}
+			br.partIDs = append(br.partIDs, p) // p ascends, so partIDs stays sorted
+		}
+		sc.replicas = append(sc.replicas, reps)
+		for s := 0; s < shards; s++ {
+			sc.views[s].leader[p] = lead
+		}
+	}
+	for i := 0; i < nParts; i++ {
+		c := &SClient{
+			cl:   sc,
+			idx:  i,
+			part: i,
+			node: sc.net.NewNode(fmt.Sprintf("client-%04d", i), (cfg.Brokers+i)%shards),
+		}
+		sc.clients = append(sc.clients, c)
+	}
+	return sc
+}
+
+// Group and Net expose the underlying layers.
+func (sc *ShardedCluster) Group() *sim.ShardGroup  { return sc.g }
+func (sc *ShardedCluster) Net() *fabric.ShardedNet { return sc.net }
+
+// Config returns the model configuration.
+func (sc *ShardedCluster) Config() ShardedConfig { return sc.cfg }
+
+// Partitions reports the partition count (= client count).
+func (sc *ShardedCluster) Partitions() int { return len(sc.replicas) }
+
+// Replicas returns partition p's replica broker indices (position 0 is the
+// initial leader). The slice is owned by the cluster.
+func (sc *ShardedCluster) Replicas(p int) []int { return sc.replicas[p] }
+
+// BrokerNode returns broker i's fabric node (fault injection targets it).
+func (sc *ShardedCluster) BrokerNode(i int) *fabric.SNode { return sc.brokers[i].node }
+
+// BrokerIndex resolves a broker's fabric node name to its index.
+func (sc *ShardedCluster) BrokerIndex(name string) (int, bool) {
+	for i, b := range sc.brokers {
+		if b.node.Name() == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ClientNode returns client i's fabric node.
+func (sc *ShardedCluster) ClientNode(i int) *fabric.SNode { return sc.clients[i].node }
+
+// take pops a message record from shard's free list (or allocates).
+func (sc *ShardedCluster) take(shard int) *scMsg {
+	p := sc.pools[shard]
+	if len(p) == 0 {
+		return &scMsg{cl: sc}
+	}
+	m := p[len(p)-1]
+	sc.pools[shard] = p[:len(p)-1]
+	return m
+}
+
+func (sc *ShardedCluster) put(shard int, m *scMsg) {
+	sc.pools[shard] = append(sc.pools[shard], m)
+}
+
+// Start schedules every client's first transmission, jittered by a stream
+// keyed to the client's identity (layout-independent), and arms each
+// client's watchdog — one persistent timer per client (never a timer per
+// transmission) that retries when a transmission stalls past the RTO.
+func (sc *ShardedCluster) Start() {
+	for _, c := range sc.clients {
+		c := c
+		rng := sim.KeyedRand(sc.cfg.Seed, c.node.Name())
+		at := sim.Time(rng.Int63n(int64(10 * time.Microsecond)))
+		c.node.Env().At(at, func() { c.transmit() })
+		w := sc.take(c.node.Shard())
+		w.kind, w.part, w.src, w.dst = msgTimeout, c.part, c.idx, c.idx
+		c.node.Env().AtArg(at+sc.cfg.RTO, scDispatch, w)
+	}
+}
+
+// scDispatch routes every model message; it is the single shared callback of
+// all deliveries, completions, and timers, so the hot path allocates
+// nothing. It always runs on the shard of the addressed node.
+func scDispatch(a any) {
+	m := a.(*scMsg)
+	sc := m.cl
+	switch m.kind {
+	case msgProduce:
+		sc.brokers[m.dst].onProduce(m)
+		return // retained for the CPU completion
+	case msgProduceDone:
+		sc.brokers[m.dst].produceDone(m)
+		return // recycled (or reused) by produceDone
+	case msgRepl:
+		sc.brokers[m.dst].onRepl(m)
+		return // retained for the CPU completion
+	case msgReplDone:
+		sc.brokers[m.dst].replDone(m)
+		return // reused for the ack
+	case msgReplAck:
+		sc.brokers[m.dst].onReplAck(m)
+		sc.put(sc.brokers[m.dst].node.Shard(), m)
+	case msgAck:
+		sc.clients[m.dst].onAck(m)
+		sc.put(sc.clients[m.dst].node.Shard(), m)
+	case msgRedirect:
+		sc.clients[m.dst].onRedirect(m)
+		sc.put(sc.clients[m.dst].node.Shard(), m)
+	case msgTimeout:
+		sc.clients[m.dst].onTimeout(m)
+		// retained: the watchdog re-arms itself with the same record
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+// transmit sends the client's next (or retried) record to the partition
+// leader per this shard's view, and arms the retransmission timeout.
+func (c *SClient) transmit() {
+	sc := c.cl
+	shard := c.node.Shard()
+	view := sc.views[shard]
+	lead := sc.brokers[view.leader[c.part]]
+	c.xmit++
+	c.sent++
+	seq := c.acked + 1
+	if sc.net.Reachable(c.node, lead.node) {
+		m := sc.take(shard)
+		m.kind, m.part, m.src, m.dst = msgProduce, c.part, c.idx, lead.idx
+		m.seq, m.xmit, m.epoch = seq, c.xmit, view.epoch[c.part]
+		sc.net.DeliverArg(c.node, lead.node, sc.cfg.RecordSize+64, scDispatch, m)
+	}
+	// When the leader is unreachable no request goes out at all; the
+	// watchdog tick is what polls for the post-failover view.
+}
+
+// onAck handles a commit acknowledgement from the leader.
+func (c *SClient) onAck(m *scMsg) {
+	if m.committed > c.acked {
+		c.acked = m.committed
+	}
+	if m.xmit == c.xmit && c.acked >= m.seq {
+		// The in-flight record is durable: next one immediately (closed loop).
+		c.transmit()
+	}
+}
+
+// onRedirect handles a not-leader response: retry against the current view.
+func (c *SClient) onRedirect(m *scMsg) {
+	if m.xmit != c.xmit {
+		return // stale response for an already-retired transmission
+	}
+	c.redirects++
+	c.transmit()
+}
+
+// onTimeout is the client's watchdog tick: if no transmission happened since
+// the previous tick, the in-flight one stalled (lost request, crashed
+// leader, dead link) — retry against the current view. A stalled client
+// therefore retries between one and two RTOs after the loss. The tick
+// re-arms itself, reusing its own record: exactly one timer per client ever
+// exists, regardless of traffic.
+func (c *SClient) onTimeout(m *scMsg) {
+	if c.xmit == c.watchXmit && c.xmit > 0 {
+		c.retries++
+		c.transmit()
+	}
+	c.watchXmit = c.xmit
+	c.node.Env().AfterArg(c.cl.cfg.RTO, scDispatch, m)
+}
+
+// ---------------------------------------------------------------------------
+// Broker side
+// ---------------------------------------------------------------------------
+
+// env returns the broker's shard environment.
+func (b *SBroker) env() *sim.Env { return b.node.Env() }
+
+// view returns the broker's shard's control-plane replica.
+func (b *SBroker) view() *scView { return b.cl.views[b.node.Shard()] }
+
+// onProduce receives a produce request: drop if crashed, redirect if not the
+// leader, otherwise pay the CPU service time and append.
+func (b *SBroker) onProduce(m *scMsg) {
+	sc := b.cl
+	shard := b.node.Shard()
+	if b.node.Down() {
+		sc.put(shard, m) // crashed: request vanishes, client will time out
+		return
+	}
+	if b.view().leader[m.part] != b.idx {
+		cli := sc.clients[m.src]
+		m.kind, m.src, m.dst = msgRedirect, b.idx, cli.idx
+		sc.net.DeliverArg(b.node, cli.node, 64, scDispatch, m)
+		return
+	}
+	m.kind = msgProduceDone
+	done := b.cpu.Reserve(b.env().Now(), sc.cfg.ServiceTime)
+	b.env().AtArg(done, scDispatch, m)
+}
+
+// produceDone runs after the CPU finished an append: store the record and
+// fan out replication. Duplicates (retries of a record that is pending or
+// already committed) re-trigger replication or re-acknowledge instead of
+// appending twice.
+func (b *SBroker) produceDone(m *scMsg) {
+	sc := b.cl
+	shard := b.node.Shard()
+	if b.node.Down() {
+		sc.put(shard, m) // crashed while the request was in service
+		return
+	}
+	if b.view().leader[m.part] != b.idx {
+		// Deposed while the request was in service: redirect.
+		cli := sc.clients[m.src]
+		m.kind, m.src, m.dst = msgRedirect, b.idx, cli.idx
+		sc.net.DeliverArg(b.node, cli.node, 64, scDispatch, m)
+		return
+	}
+	p := b.parts[m.part]
+	cli := sc.clients[m.src]
+	switch {
+	case m.seq <= p.committed:
+		// Already durable (the previous ack was lost): re-acknowledge.
+		m.kind, m.src, m.dst = msgAck, b.idx, cli.idx
+		m.committed = p.committed
+		sc.net.DeliverArg(b.node, cli.node, 64, scDispatch, m)
+		return
+	case m.seq == p.appended && p.pendSeq == m.seq:
+		// Retry of the pending record: refresh the transmission to answer
+		// and re-fan-out (a follower may have crashed and restarted, or the
+		// original replication raced a failover).
+		p.pendXmit = m.xmit
+	case m.seq == p.appended+1:
+		p.appended = m.seq
+		p.pendSeq, p.pendAcks, p.pendXmit = m.seq, 0, m.xmit
+	default:
+		// A gap means the client is ahead of this broker's log — it was
+		// acked by a deposed leader whose commit this replica missed, which
+		// acks=all commit semantics make impossible. Fail loudly.
+		panic(fmt.Sprintf("core: partition %d: produce seq %d against appended %d", m.part, m.seq, p.appended))
+	}
+	b.setAck(m.part, p, b.idx) // the leader's own copy counts
+	reps := sc.replicas[m.part]
+	for _, r := range reps {
+		if r == b.idx {
+			continue
+		}
+		f := sc.brokers[r]
+		rm := sc.take(shard)
+		rm.kind, rm.part, rm.src, rm.dst = msgRepl, m.part, b.idx, r
+		rm.seq, rm.committed, rm.epoch = p.appended, p.committed, b.view().epoch[m.part]
+		sc.net.DeliverArg(b.node, f.node, sc.cfg.RecordSize+64, scDispatch, rm)
+	}
+	sc.put(shard, m)
+}
+
+// onRepl receives a replica append on a follower: pay CPU then store.
+func (b *SBroker) onRepl(m *scMsg) {
+	sc := b.cl
+	if b.node.Down() || m.epoch < b.view().epoch[m.part] {
+		sc.put(b.node.Shard(), m) // crashed, or a deposed leader's traffic
+		return
+	}
+	m.kind = msgReplDone
+	done := b.cpu.Reserve(b.env().Now(), sc.cfg.ServiceTime)
+	b.env().AtArg(done, scDispatch, m)
+}
+
+// replDone stores the replica append and acknowledges to the leader. A
+// restarted follower catches up implicitly: appended jumps to the leader's
+// seq (the model does not transfer the backlog record by record, it charges
+// only the current append's wire and CPU time).
+func (b *SBroker) replDone(m *scMsg) {
+	if b.node.Down() || m.epoch < b.view().epoch[m.part] {
+		b.cl.put(b.node.Shard(), m) // crashed or deposed mid-service
+		return
+	}
+	p := b.parts[m.part]
+	if m.seq > p.appended {
+		p.appended = m.seq
+	}
+	if c := min(m.committed, p.appended); c > p.committed {
+		p.committed = c
+	}
+	lead := b.cl.brokers[m.src]
+	m.kind, m.src, m.dst = msgReplAck, b.idx, lead.idx
+	b.cl.net.DeliverArg(b.node, lead.node, 64, scDispatch, m)
+}
+
+// onReplAck marks the follower's position in the pending record's quorum.
+func (b *SBroker) onReplAck(m *scMsg) {
+	if b.node.Down() || b.view().leader[m.part] != b.idx {
+		return
+	}
+	p := b.parts[m.part]
+	if m.seq != p.pendSeq || p.pendSeq == 0 {
+		return // stale ack for a record that already committed
+	}
+	b.setAck(m.part, p, m.src)
+}
+
+// setAck records replica src's acknowledgement of the pending record and
+// commits when every replica not detected down has acknowledged (acks=all).
+func (b *SBroker) setAck(part int, p *spart, src int) {
+	for pos, r := range b.cl.replicas[part] {
+		if r == src {
+			p.pendAcks |= 1 << pos
+		}
+	}
+	b.maybeCommit(part, p)
+}
+
+// maybeCommit checks the acks=all condition against the CURRENT detected
+// set: a follower detected down stops being required (that is what lets the
+// cluster keep committing through a crash, after the detection delay).
+func (b *SBroker) maybeCommit(part int, p *spart) {
+	if p.pendSeq == 0 {
+		return
+	}
+	det := b.view().detected
+	for pos, r := range b.cl.replicas[part] {
+		if det[r] {
+			continue
+		}
+		if p.pendAcks&(1<<pos) == 0 {
+			return
+		}
+	}
+	p.committed = p.pendSeq
+	p.pendSeq = 0
+	sc := b.cl
+	cli := sc.clients[part] // partition p is client p's (one partition each)
+	m := sc.take(b.node.Shard())
+	m.kind, m.part, m.src, m.dst = msgAck, part, b.idx, cli.idx
+	m.seq, m.committed, m.xmit = p.committed, p.committed, p.pendXmit
+	sc.net.DeliverArg(b.node, cli.node, 64, scDispatch, m)
+}
+
+// ---------------------------------------------------------------------------
+// Control plane: canonical schedule hooks (driven by chaos)
+// ---------------------------------------------------------------------------
+
+// ScheduleCrash fail-stops broker idx at virtual time at: the node drops off
+// the fabric immediately; detection (and the leadership flips the caller
+// schedules alongside) happens DetectDelay later.
+func (sc *ShardedCluster) ScheduleCrash(at sim.Time, idx int) {
+	sc.net.ScheduleSetDown(at, sc.brokers[idx].node, true)
+}
+
+// ScheduleRestart brings a crashed broker back (as a follower; leadership
+// stays where failover moved it) at virtual time at.
+func (sc *ShardedCluster) ScheduleRestart(at sim.Time, idx int) {
+	sc.net.ScheduleSetDown(at, sc.brokers[idx].node, false)
+}
+
+// ScheduleDetect flips broker idx's detected-down state on every shard's
+// view at virtual time at, then lets leaders on each shard re-evaluate
+// pending commits whose quorum just changed.
+func (sc *ShardedCluster) ScheduleDetect(at sim.Time, idx int, down bool) {
+	sc.net.ScheduleBroadcast(at, func(shard int) {
+		sc.views[shard].detected[idx] = down
+		if !down {
+			return
+		}
+		// A shrunk quorum can complete pending commits: re-evaluate every
+		// pending partition whose leader lives on this shard. Sweep in
+		// (broker, partition) index order — the commits send acks, and the
+		// canonical handoff order depends on send order.
+		for _, b := range sc.brokers {
+			if b.node.Shard() != shard {
+				continue
+			}
+			for _, part := range b.partIDs {
+				p := b.parts[part]
+				if sc.views[shard].leader[part] == b.idx && p.pendSeq != 0 {
+					b.maybeCommit(part, p)
+				}
+			}
+		}
+	})
+}
+
+// ScheduleLeaderFlip moves partition part's leadership to broker newLead at
+// virtual time at, on every shard's view, bumping the epoch. On the new
+// leader's own shard the promotion also commits its local log (everything a
+// deposed leader committed is on every live replica under acks=all, so the
+// new leader's log is a superset of all acknowledged records).
+func (sc *ShardedCluster) ScheduleLeaderFlip(at sim.Time, part, newLead int) {
+	sc.net.ScheduleBroadcast(at, func(shard int) {
+		v := sc.views[shard]
+		v.leader[part] = newLead
+		v.epoch[part]++
+		nb := sc.brokers[newLead]
+		if nb.node.Shard() != shard {
+			return
+		}
+		p := nb.parts[part]
+		if p.appended > p.committed {
+			p.committed = p.appended
+		}
+		p.pendSeq = 0 // any pending state belonged to its follower role
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+// Produced reports total client transmissions (including retries).
+func (sc *ShardedCluster) Produced() uint64 {
+	var n uint64
+	for _, c := range sc.clients {
+		n += c.sent
+	}
+	return n
+}
+
+// Acked reports total acknowledged (durably committed) records.
+func (sc *ShardedCluster) Acked() uint64 {
+	var n uint64
+	for _, c := range sc.clients {
+		n += c.acked
+	}
+	return n
+}
+
+// Retries and Redirects report client-observed failure handling work.
+func (sc *ShardedCluster) Retries() uint64 {
+	var n uint64
+	for _, c := range sc.clients {
+		n += c.retries
+	}
+	return n
+}
+
+func (sc *ShardedCluster) Redirects() uint64 {
+	var n uint64
+	for _, c := range sc.clients {
+		n += c.redirects
+	}
+	return n
+}
+
+// LostAcked counts acknowledged records that are NOT on every live replica —
+// the durability violation the acks=all protocol promises never happens.
+// Call after the run; it must return 0.
+func (sc *ShardedCluster) LostAcked() int {
+	lost := 0
+	for p, c := range sc.clients {
+		for _, r := range sc.replicas[p] {
+			b := sc.brokers[r]
+			if !sc.views[0].detected[r] && b.parts[p].appended < c.acked {
+				lost++
+			}
+		}
+	}
+	return lost
+}
+
+// Snapshot folds the complete observable outcome — every broker's per-
+// partition log positions, every client's counters, the final control plane
+// — into one FNV-1a digest, in canonical (index) order. Byte-identical
+// digests across shard counts and worker counts are the model's invariant.
+func (sc *ShardedCluster) Snapshot() uint64 {
+	var h uint64 = 14695981039346656037
+	mix := func(words ...uint64) {
+		for _, w := range words {
+			h ^= w
+			h *= 1099511628211
+		}
+	}
+	for p := range sc.replicas {
+		mix(sc.views[0].epoch[p], uint64(sc.views[0].leader[p]))
+		for _, r := range sc.replicas[p] {
+			sp := sc.brokers[r].parts[p]
+			mix(sp.appended, sp.committed)
+		}
+	}
+	for _, c := range sc.clients {
+		mix(c.sent, c.acked, c.retries, c.redirects)
+	}
+	for _, b := range sc.brokers {
+		mix(b.node.TxBytes(), b.node.RxBytes())
+	}
+	return h
+}

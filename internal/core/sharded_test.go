@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"kafkadirect/internal/sim"
+)
+
+// newShardedRig builds a small sharded cluster and returns it with its group.
+func newShardedRig(brokers, shards, parallel int) *ShardedCluster {
+	cfg := DefaultShardedConfig(brokers)
+	cfg.ClientsPerBroker = 2
+	g := sim.NewShardGroup(shards, cfg.Net.PropDelay, cfg.Seed)
+	g.SetParallel(parallel)
+	sc := NewShardedCluster(g, cfg)
+	sc.Start()
+	return sc
+}
+
+// TestShardedClusterProgress: fault-free steady state — every client makes
+// progress, nothing is retried or redirected, and no acknowledged record is
+// missing from a replica.
+func TestShardedClusterProgress(t *testing.T) {
+	sc := newShardedRig(4, 2, 1)
+	sc.Group().RunUntil(5 * time.Millisecond)
+	if sc.Acked() == 0 {
+		t.Fatal("no records acknowledged")
+	}
+	for i, c := range sc.clients {
+		if c.acked == 0 {
+			t.Errorf("client %d never got an ack", i)
+		}
+	}
+	if r := sc.Retries(); r != 0 {
+		t.Errorf("%d retries in a fault-free run", r)
+	}
+	if r := sc.Redirects(); r != 0 {
+		t.Errorf("%d redirects in a fault-free run", r)
+	}
+	if lost := sc.LostAcked(); lost != 0 {
+		t.Errorf("%d acknowledged records missing from live replicas", lost)
+	}
+	// acks=all: a committed record is on every replica, so each replica's
+	// log of each partition is within one record (the pending one) of the
+	// leader's.
+	for p := range sc.replicas {
+		lead := sc.brokers[sc.views[0].leader[p]].parts[p]
+		for _, r := range sc.replicas[p] {
+			rp := sc.brokers[r].parts[p]
+			if rp.appended+1 < lead.committed {
+				t.Errorf("partition %d replica %d: appended %d vs committed %d",
+					p, r, rp.appended, lead.committed)
+			}
+		}
+	}
+}
+
+// TestShardedClusterDeterminism: byte-identical snapshots for every shard
+// count and for the parallel execution path.
+func TestShardedClusterDeterminism(t *testing.T) {
+	run := func(shards, parallel int) uint64 {
+		sc := newShardedRig(6, shards, parallel)
+		sc.Group().RunUntil(3 * time.Millisecond)
+		return sc.Snapshot()
+	}
+	base := run(1, 1)
+	for _, shards := range []int{2, 4, 8} {
+		if got := run(shards, 1); got != base {
+			t.Errorf("shards=%d inline: snapshot %x, want %x", shards, got, base)
+		}
+	}
+	for _, shards := range []int{4, 8} {
+		if got := run(shards, shards); got != base {
+			t.Errorf("shards=%d parallel: snapshot %x, want %x", shards, got, base)
+		}
+	}
+}
+
+// TestShardedClusterSteadyStateAllocFree: once pools, rings, and heaps are
+// warm, extending the run allocates nothing — the whole produce/replicate/
+// ack/watchdog loop runs on pooled records and shared callbacks.
+func TestShardedClusterSteadyStateAllocFree(t *testing.T) {
+	sc := newShardedRig(4, 4, 1)
+	end := 2 * time.Millisecond
+	sc.Group().RunUntil(end) // warm every pool to working size
+	avg := testing.AllocsPerRun(5, func() {
+		end += time.Millisecond
+		sc.Group().RunUntil(end)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state cluster loop allocates %.1f times per ms, want 0", avg)
+	}
+}

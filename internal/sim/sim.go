@@ -352,6 +352,51 @@ func (e *Env) RunUntil(deadline Time) {
 	}
 }
 
+// runBefore executes events strictly before end, then returns. Unlike
+// RunUntil it neither advances the clock to the bound nor treats the bound as
+// inclusive: it is the window-execution primitive of the sharded kernel
+// (shard.go), which must stop exactly at the conservative lookahead horizon.
+// The dispatch body mirrors RunUntil; keep the two in sync — the loop is the
+// hottest code in the repository and a shared helper would put a call (the
+// body contains channel operations, so it cannot inline) on every event.
+func (e *Env) runBefore(end Time) {
+	for e.events.len() > 0 && !e.stopped {
+		if e.events.a[0].at >= end {
+			return
+		}
+		ev := e.events.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.executed++
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		if ev.fnArg != nil {
+			ev.fnArg(ev.arg)
+			continue
+		}
+		p := ev.proc
+		if p.dead {
+			continue
+		}
+		to := p.timedOut
+		p.timedOut = false
+		p.resume <- wakeup{timedOut: to, token: p.waitToken}
+		<-e.yield
+	}
+}
+
+// advanceTo moves the clock forward to t (never backward); the sharded
+// kernel uses it to leave every shard at the common deadline after a
+// bounded run, matching RunUntil's behaviour for a single environment.
+func (e *Env) advanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
+}
+
 // Stop makes Run return after the current event completes.
 func (e *Env) Stop() { e.stopped = true }
 

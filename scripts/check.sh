@@ -25,11 +25,14 @@ go build ./...
 echo "== kdlint =="
 go run ./cmd/kdlint ./...
 
-# The failure-handling stack first: the DES kernel, the fault injector, and
-# the broker failover logic are where a data race would corrupt everything
-# downstream, so they gate the full suite.
-echo "== go test -race (sim, chaos, core) =="
-go test -race ./internal/sim/ ./internal/chaos/ ./internal/core/
+# The failure-handling and sharded-kernel stack first: the DES kernel (both
+# the single heap and the conservative-parallel ShardGroup), the sharded
+# fabric, the fault injector, and the broker failover logic are where a data
+# race would corrupt everything downstream, so they gate the full suite.
+# The shard test matrices run parallel>1 configurations, so this is the
+# shards>1 race gate: real goroutines executing shard windows concurrently.
+echo "== go test -race (sim, fabric, chaos, core) =="
+go test -race ./internal/sim/ ./internal/fabric/ ./internal/chaos/ ./internal/core/
 
 echo "== go test -race ./... =="
 go test -race ./...
