@@ -1,6 +1,6 @@
 // Package analysis is kdlint: a small, dependency-free static-analysis
 // framework plus the five repo-specific analyzers that enforce the
-// simulator's core invariants (see DESIGN.md §8):
+// simulator's core invariants (see DESIGN.md §9):
 //
 //	simclock   — no wall clock or unseeded randomness in simulated code
 //	maporder   — no order-sensitive work driven by unsorted map iteration
@@ -80,6 +80,7 @@ var simPackages = map[string]bool{
 	"klog":    true,
 	"core":    true,
 	"client":  true,
+	"group":   true,
 	"chaos":   true,
 	"kwire":   true,
 	"krecord": true,

@@ -120,6 +120,41 @@ func TestShardStateFixture(t *testing.T) {
 	checkFixture(t, ShardState, "stream")
 }
 
+// TestGroupPackageIsKdlintClean pins the consumer-group coordinator into the
+// lint gate directly. internal/group runs under the simulated clock and its
+// error returns carry the fencing signals (ILLEGAL_GENERATION et al.), so it
+// belongs to both simPackages and errDropPackages; this test fails if either
+// registration is dropped, then requires the package to be clean with zero
+// findings AND zero //kdlint:allow escapes — the coordinator was written to
+// collect-sort-iterate discipline and should never need a suppression.
+// Unlike TestRepoIsKdlintClean it loads one package, so it survives -short.
+func TestGroupPackageIsKdlintClean(t *testing.T) {
+	if !simPackages["group"] {
+		t.Error(`internal/group missing from simPackages: simclock/maporder/shardstate no longer cover the coordinator`)
+	}
+	if !errDropPackages["group"] {
+		t.Error(`internal/group missing from errDropPackages: dropped group errors (the fencing signal) go unflagged`)
+	}
+	pkgs, err := Load("../..", "./internal/group/")
+	if err != nil {
+		t.Fatalf("loading internal/group: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("./internal/group/ matched no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, te := range pkg.TypeErrors {
+			t.Fatalf("%s: type error: %v", pkg.PkgPath, te)
+		}
+		if allows := collectAllows(pkg); len(allows) != 0 {
+			t.Errorf("internal/group carries %d //kdlint:allow directive(s), first at %s — the coordinator must be clean without suppressions", len(allows), allows[0].pos)
+		}
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}
+
 // TestRepoIsKdlintClean is the meta-test: the shipping tree must carry zero
 // findings under the full suite, so every invariant the fixtures demonstrate
 // also holds repo-wide. This is the same load cmd/kdlint performs.

@@ -30,6 +30,7 @@ var errDropPackages = map[string]bool{
 	"tcpnet": true,
 	"klog":   true,
 	"core":   true,
+	"group":  true,
 }
 
 func runErrDrop(pass *Pass) {

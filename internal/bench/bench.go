@@ -141,6 +141,9 @@ func figOrder(id string) float64 {
 	if id == "chaos" {
 		return 200 // failure-handling experiment, after the ablations
 	}
+	if id == "groups" {
+		return 250 // consumer-group experiment, between chaos and scale
+	}
 	if id == "scale" {
 		return 300 // simulator-scaling figure, last: it is about the harness
 	}

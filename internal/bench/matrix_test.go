@@ -25,7 +25,7 @@ func TestDeterminismMatrix(t *testing.T) {
 	if os.Getenv("KD_MATRIX_FULL") != "" {
 		exps = Experiments()
 	} else {
-		for _, id := range []string{"chaos", "fig08", "fig18", "scale"} {
+		for _, id := range []string{"chaos", "groups", "fig08", "fig18", "scale"} {
 			e, ok := Lookup(id)
 			if !ok {
 				t.Fatalf("%s not registered", id)

@@ -163,11 +163,33 @@ var (
 	errNotLeader = errors.New("client: broker is not the partition leader")
 )
 
+// Group-coordination signals. These are NOT transport failures, and the
+// retry layer must not treat them as such: before the classification was
+// split, any failed exchange was handled like leader loss — tearing down
+// and redialing every connection — so a rebalance in progress caused
+// spurious full reconnects. A coordinator move redials only the control
+// connection; a rebalance keeps all data-path connections and re-enters
+// the join protocol.
+var (
+	errCoordinatorMoved = errors.New("client: group coordinator moved")
+	errRebalancing      = errors.New("client: group rebalance in progress")
+)
+
+// coordinationErr reports whether an error is a group-coordination signal
+// (handled by the group membership layer) rather than a broken transport.
+func coordinationErr(err error) bool {
+	return errors.Is(err, errCoordinatorMoved) || errors.Is(err, errRebalancing)
+}
+
 // retryableErr reports whether an error is worth retrying through a
 // reconnect: transport failures (the connection or QP died, the peer is
 // currently unreachable) and leadership changes. Protocol and validation
-// errors are permanent.
+// errors are permanent, and coordination signals are explicitly excluded —
+// reconnecting cannot resolve them.
 func retryableErr(err error) bool {
+	if coordinationErr(err) {
+		return false
+	}
 	return errors.Is(err, tcpnet.ErrClosed) ||
 		errors.Is(err, tcpnet.ErrUnreachable) ||
 		errors.Is(err, rdma.ErrQPState) ||

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kafkadirect/internal/fabric"
+	"kafkadirect/internal/group"
 	"kafkadirect/internal/klog"
 	"kafkadirect/internal/krecord"
 	"kafkadirect/internal/kwire"
@@ -43,7 +44,7 @@ type Broker struct {
 	// process at a time, so plain slices need no locking.
 	reqFree  []*request
 	respFree []*response
-	msgFree  [kwire.KindOffsetFetchResp + 1][]kwire.Message
+	msgFree  [kwire.KindMax + 1][]kwire.Message
 
 	// Scratch response messages: respond/respondZC and sendAck encode
 	// synchronously, so one instance per hot kind is reused across all
@@ -52,6 +53,9 @@ type Broker struct {
 	scratchFetchResp   kwire.FetchResp
 	scratchCommitResp  kwire.OffsetCommitResp
 	scratchOffsetResp  kwire.OffsetFetchResp
+	scratchBeatResp    kwire.HeartbeatResp
+	scratchGCommitResp kwire.GroupCommitResp
+	scratchLeaveResp   kwire.LeaveGroupResp
 
 	// loopOld is the reusable FAA result buffer for loopback atomics
 	// (produceViaSharedFileAsync); loopRes serialises its users.
@@ -171,7 +175,11 @@ func (b *Broker) Stats() (requests, rdmaProduces, emptyFetches uint64) {
 func (b *Broker) release() {
 	for _, ts := range b.topics {
 		for _, pt := range ts.parts {
-			pt.releaseStorage()
+			// parts is index-addressed and nil-padded: a broker hosting
+			// partition 3 but not 0-2 has nil entries below it.
+			if pt != nil {
+				pt.releaseStorage()
+			}
 		}
 	}
 }
@@ -414,8 +422,28 @@ func (b *Broker) dispatch(p *sim.Proc, req *request) {
 		if !ok {
 			off = -1
 		}
+		// A group managed by the coordinator answers from its committed
+		// map (backed by __consumer_offsets) rather than the per-broker
+		// legacy store.
+		if co, isCoord := b.groupCoordinator(m.Group); isCoord {
+			if v := co.Committed(m.Group, group.TP{Topic: m.Topic, Partition: m.Partition}); v >= 0 {
+				off = v
+			}
+		}
 		b.scratchOffsetResp = kwire.OffsetFetchResp{Err: kwire.ErrNone, Offset: off}
 		b.respond(req, &b.scratchOffsetResp)
+	case *kwire.JoinGroupReq:
+		b.handleJoinGroup(p, req, m)
+	case *kwire.SyncGroupReq:
+		b.handleSyncGroup(p, req, m)
+	case *kwire.HeartbeatReq:
+		b.handleHeartbeat(p, req, m)
+	case *kwire.LeaveGroupReq:
+		b.handleLeaveGroup(p, req, m)
+	case *kwire.GroupCommitReq:
+		b.handleGroupCommit(p, req, m)
+	case *kwire.CommitAccessReq:
+		b.handleCommitAccess(p, req, m)
 	default:
 		// Unknown request kinds are dropped, like unsupported API versions.
 		req.completed = true

@@ -55,6 +55,10 @@ type Cluster struct {
 
 	// down marks crashed brokers (fault injection); see controller.go.
 	down map[string]bool
+
+	// groups is the consumer-group runtime (nil until EnableGroups);
+	// see groups.go.
+	groups *groupRuntime
 }
 
 type clusterTopic struct {

@@ -1,0 +1,117 @@
+package group
+
+import "sort"
+
+// Subscription is one member's topic interests, input to Assign.
+type Subscription struct {
+	MemberID string
+	Topics   []string
+}
+
+// MemberAssignment is one member's slice of a generation: its partitions in
+// canonical order, and the base index of its cells in the generation's
+// one-sided commit table (cell CellBase+i holds the commit for Assigned[i]).
+type MemberAssignment struct {
+	ID       string
+	CellBase int
+	Assigned []TP
+}
+
+// Assign computes the partition assignment for one generation. It is a pure
+// function of (strategy, subscriptions, topic metadata): members and topics
+// are sorted before any iteration, so the result is identical regardless of
+// the map-ordering of whoever collected the inputs. Partitions of topics no
+// member subscribes to are left unassigned. CellBase is filled in
+// cumulatively over the sorted members.
+func Assign(strategy Strategy, subs []Subscription, partitions func(topic string) []int32) []MemberAssignment {
+	sorted := make([]Subscription, len(subs))
+	copy(sorted, subs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].MemberID < sorted[j].MemberID })
+
+	byMember := make(map[string][]TP, len(sorted))
+	subscribed := func(sub Subscription, topic string) bool {
+		for _, t := range sub.Topics {
+			if t == topic {
+				return true
+			}
+		}
+		return false
+	}
+
+	topicSet := make(map[string]bool)
+	for _, sub := range sorted {
+		for _, t := range sub.Topics {
+			topicSet[t] = true
+		}
+	}
+	topics := make([]string, 0, len(topicSet))
+	for t := range topicSet {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+
+	switch strategy {
+	case StrategyRoundRobin:
+		// Deal every (topic, partition) in canonical order to the next
+		// subscribed member in a circular scan, like Kafka's
+		// RoundRobinAssignor.
+		next := 0
+		for _, topic := range topics {
+			anySub := false
+			for _, sub := range sorted {
+				if subscribed(sub, topic) {
+					anySub = true
+					break
+				}
+			}
+			if !anySub {
+				continue
+			}
+			for _, part := range partitions(topic) {
+				for !subscribed(sorted[next%len(sorted)], topic) {
+					next++
+				}
+				m := sorted[next%len(sorted)].MemberID
+				byMember[m] = append(byMember[m], TP{topic, part})
+				next++
+			}
+		}
+	default: // StrategyRange
+		// Per topic, split the partition list into contiguous chunks over
+		// the subscribed members; the first n%k members get one extra.
+		for _, topic := range topics {
+			var tmembers []string
+			for _, sub := range sorted {
+				if subscribed(sub, topic) {
+					tmembers = append(tmembers, sub.MemberID)
+				}
+			}
+			if len(tmembers) == 0 {
+				continue
+			}
+			parts := partitions(topic)
+			base, extra := len(parts)/len(tmembers), len(parts)%len(tmembers)
+			idx := 0
+			for i, m := range tmembers {
+				n := base
+				if i < extra {
+					n++
+				}
+				for j := 0; j < n; j++ {
+					byMember[m] = append(byMember[m], TP{topic, parts[idx]})
+					idx++
+				}
+			}
+		}
+	}
+
+	out := make([]MemberAssignment, 0, len(sorted))
+	cellBase := 0
+	for _, sub := range sorted {
+		tps := byMember[sub.MemberID]
+		sort.Slice(tps, func(i, j int) bool { return tps[i].Less(tps[j]) })
+		out = append(out, MemberAssignment{ID: sub.MemberID, CellBase: cellBase, Assigned: tps})
+		cellBase += len(tps)
+	}
+	return out
+}

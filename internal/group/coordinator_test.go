@@ -1,0 +1,258 @@
+package group_test
+
+import (
+	"testing"
+	"time"
+
+	"kafkadirect/internal/group"
+	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/sim"
+)
+
+func testConfig() group.Config {
+	return group.Config{
+		SessionTimeout:   1 * time.Second,
+		RebalanceTimeout: 500 * time.Millisecond,
+		RebalanceDelay:   20 * time.Millisecond,
+		HarvestInterval:  50 * time.Millisecond,
+	}
+}
+
+// fourParts serves a fixed 4-partition topic "t" (and 2-partition "u").
+func fourParts(topic string) []int32 {
+	if topic == "u" {
+		return []int32{0, 1}
+	}
+	return []int32{0, 1, 2, 3}
+}
+
+func TestCellCodec(t *testing.T) {
+	var buf [group.CellSize]byte
+	if _, _, ok := group.DecodeCell(buf[:]); ok {
+		t.Fatal("fresh cell should decode as empty")
+	}
+	group.EncodeCell(buf[:], 7, 0)
+	gen, off, ok := group.DecodeCell(buf[:])
+	if !ok || gen != 7 || off != 0 {
+		t.Fatalf("got gen=%d off=%d ok=%v", gen, off, ok)
+	}
+	group.EncodeCell(buf[:], 3, 1<<40)
+	gen, off, ok = group.DecodeCell(buf[:])
+	if !ok || gen != 3 || off != 1<<40 {
+		t.Fatalf("got gen=%d off=%d ok=%v", gen, off, ok)
+	}
+}
+
+func TestOffsetRecordCodec(t *testing.T) {
+	val := group.AppendOffsetRecord(nil, "g1", 9, group.TP{Topic: "t", Partition: 2}, 12345)
+	name, gen, tp, off, err := group.DecodeOffsetRecord(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "g1" || gen != 9 || tp != (group.TP{Topic: "t", Partition: 2}) || off != 12345 {
+		t.Fatalf("round trip mismatch: %q %d %v %d", name, gen, tp, off)
+	}
+	for cut := 0; cut < len(val); cut++ {
+		if _, _, _, _, err := group.DecodeOffsetRecord(val[:cut]); err == nil {
+			t.Fatalf("truncation at %d undetected", cut)
+		}
+	}
+}
+
+func TestAssignRange(t *testing.T) {
+	subs := []group.Subscription{
+		{MemberID: "b", Topics: []string{"t"}},
+		{MemberID: "a", Topics: []string{"t", "u"}},
+		{MemberID: "c", Topics: []string{"u"}},
+	}
+	asg := group.Assign(group.StrategyRange, subs, fourParts)
+	// Sorted members: a, b, c. Topic t over {a,b}: a gets 0,1; b gets 2,3.
+	// Topic u over {a,c}: a gets 0; c gets 1.
+	want := map[string][]group.TP{
+		"a": {{Topic: "t", Partition: 0}, {Topic: "t", Partition: 1}, {Topic: "u", Partition: 0}},
+		"b": {{Topic: "t", Partition: 2}, {Topic: "t", Partition: 3}},
+		"c": {{Topic: "u", Partition: 1}},
+	}
+	if len(asg) != 3 {
+		t.Fatalf("got %d assignments", len(asg))
+	}
+	cellBase := 0
+	for _, ma := range asg {
+		w := want[ma.ID]
+		if len(ma.Assigned) != len(w) {
+			t.Fatalf("%s: got %v want %v", ma.ID, ma.Assigned, w)
+		}
+		for i := range w {
+			if ma.Assigned[i] != w[i] {
+				t.Fatalf("%s: got %v want %v", ma.ID, ma.Assigned, w)
+			}
+		}
+		if ma.CellBase != cellBase {
+			t.Fatalf("%s: cellBase %d want %d", ma.ID, ma.CellBase, cellBase)
+		}
+		cellBase += len(ma.Assigned)
+	}
+}
+
+func TestAssignRoundRobin(t *testing.T) {
+	subs := []group.Subscription{
+		{MemberID: "m2", Topics: []string{"t"}},
+		{MemberID: "m1", Topics: []string{"t"}},
+		{MemberID: "m3", Topics: []string{"t"}},
+	}
+	asg := group.Assign(group.StrategyRoundRobin, subs, fourParts)
+	// Dealt in order m1,m2,m3,m1 → m1:{0,3} m2:{1} m3:{2}.
+	got := map[string]int{}
+	for _, ma := range asg {
+		got[ma.ID] = len(ma.Assigned)
+	}
+	if got["m1"] != 2 || got["m2"] != 1 || got["m3"] != 1 {
+		t.Fatalf("partition counts %v", got)
+	}
+	if asg[0].Assigned[0] != (group.TP{Topic: "t", Partition: 0}) ||
+		asg[0].Assigned[1] != (group.TP{Topic: "t", Partition: 3}) {
+		t.Fatalf("m1 assignment %v", asg[0].Assigned)
+	}
+}
+
+// newCo builds a coordinator on a fresh simulation.
+func newCo() (*sim.Env, *group.Coordinator) {
+	env := sim.NewEnv(1)
+	co := group.NewCoordinator(env, testConfig(), group.Hooks{Partitions: fourParts})
+	return env, co
+}
+
+func TestJoinSyncLifecycle(t *testing.T) {
+	env, co := newCo()
+	var res [2]group.JoinResult
+	env.Go("driver", func(p *sim.Proc) {
+		co.Join("g", "", []string{"t"}, group.StrategyRange, 0, func(r group.JoinResult) { res[0] = r })
+		co.Join("g", "", []string{"t"}, group.StrategyRange, 0, func(r group.JoinResult) { res[1] = r })
+	})
+	env.RunUntil(100 * time.Millisecond)
+	for i, r := range res {
+		if r.Err != kwire.ErrNone || r.Generation != 1 {
+			t.Fatalf("join %d: %+v", i, r)
+		}
+		if len(r.Members) != 2 || r.Members[0] != "g-1" || r.Members[1] != "g-2" {
+			t.Fatalf("join %d members: %v", i, r.Members)
+		}
+	}
+	g := co.Group("g")
+	if g.State() != group.StateCompleting {
+		t.Fatalf("state %v before syncs", g.State())
+	}
+	s1 := co.Sync("g", "g-1", 1)
+	s2 := co.Sync("g", "g-2", 1)
+	if s1.Err != kwire.ErrNone || s2.Err != kwire.ErrNone {
+		t.Fatalf("sync errors %v %v", s1.Err, s2.Err)
+	}
+	if len(s1.Assigned) != 2 || len(s2.Assigned) != 2 {
+		t.Fatalf("assignments %v %v", s1.Assigned, s2.Assigned)
+	}
+	if g.State() != group.StateStable {
+		t.Fatalf("state %v after syncs", g.State())
+	}
+	if hb := co.Heartbeat("g", "g-1", 1); hb != kwire.ErrNone {
+		t.Fatalf("heartbeat: %v", hb)
+	}
+	if hb := co.Heartbeat("g", "g-1", 0); hb != kwire.ErrIllegalGeneration {
+		t.Fatalf("stale heartbeat: %v", hb)
+	}
+	if hb := co.Heartbeat("g", "nobody", 1); hb != kwire.ErrUnknownMember {
+		t.Fatalf("unknown heartbeat: %v", hb)
+	}
+}
+
+func TestSessionExpiryCascadesToEmpty(t *testing.T) {
+	env, co := newCo()
+	env.Go("driver", func(p *sim.Proc) {
+		co.Join("g", "", []string{"t"}, group.StrategyRange, 10*time.Second, func(group.JoinResult) {})
+		co.Join("g", "", []string{"t"}, group.StrategyRange, 300*time.Millisecond, func(group.JoinResult) {})
+	})
+	// g-2 expires ~320ms (never heartbeats), starting a rebalance g-1 never
+	// rejoins; the rebalance timeout evicts g-1 too and the group empties.
+	env.RunUntil(2 * time.Second)
+	g := co.Group("g")
+	if g.State() != group.StateEmpty {
+		t.Fatalf("state %v", g.State())
+	}
+	if g.NumMembers() != 0 {
+		t.Fatalf("%d members left", g.NumMembers())
+	}
+	st := g.Stats()
+	if st.Evictions != 2 {
+		t.Fatalf("evictions %d", st.Evictions)
+	}
+	if g.Generation() != 2 {
+		t.Fatalf("generation %d", g.Generation())
+	}
+	hist := g.History()
+	if len(hist) != 2 || len(hist[0].Members) != 2 || len(hist[1].Members) != 0 {
+		t.Fatalf("history %+v", hist)
+	}
+}
+
+func TestCommitFencingAndMonotonicity(t *testing.T) {
+	env, co := newCo()
+	env.Go("driver", func(p *sim.Proc) {
+		co.Join("g", "", []string{"t"}, group.StrategyRange, 0, func(group.JoinResult) {})
+	})
+	env.RunUntil(50 * time.Millisecond)
+	tp := group.TP{Topic: "t", Partition: 0}
+	if code := co.Commit(nil, "g", "g-1", 1, tp, 10); code != kwire.ErrNone {
+		t.Fatalf("commit: %v", code)
+	}
+	if code := co.Commit(nil, "g", "g-1", 0, tp, 20); code != kwire.ErrIllegalGeneration {
+		t.Fatalf("stale-gen commit: %v", code)
+	}
+	if code := co.Commit(nil, "g", "zombie", 1, tp, 20); code != kwire.ErrUnknownMember {
+		t.Fatalf("unknown-member commit: %v", code)
+	}
+	g := co.Group("g")
+	if got := g.Committed(tp); got != 10 {
+		t.Fatalf("committed %d", got)
+	}
+	st := g.Stats()
+	if st.FencedRPC != 2 || st.CommitsApplied != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// A lower offset through a valid path is a no-op, not a regression.
+	if code := co.Commit(nil, "g", "g-1", 1, tp, 5); code != kwire.ErrNone {
+		t.Fatalf("low commit: %v", code)
+	}
+	if got := g.Committed(tp); got != 10 {
+		t.Fatalf("committed regressed to %d", got)
+	}
+}
+
+func TestHarvestCells(t *testing.T) {
+	env, co := newCo()
+	env.Go("driver", func(p *sim.Proc) {
+		co.Join("g", "", []string{"t"}, group.StrategyRange, 0, func(group.JoinResult) {})
+	})
+	env.RunUntil(50 * time.Millisecond)
+	g := co.Group("g")
+	gen, layout := g.GenAssignment()
+	if gen != 1 || len(layout) != 1 || len(layout[0].Assigned) != 4 {
+		t.Fatalf("layout gen=%d %+v", gen, layout)
+	}
+	buf := make([]byte, 4*group.CellSize)
+	group.EncodeCell(buf[0:], gen, 42)           // valid
+	group.EncodeCell(buf[group.CellSize:], 0, 7) // stale generation: fenced
+	applied, fenced := co.HarvestCells(nil, "g", gen, layout, buf)
+	if applied != 1 || fenced != 1 {
+		t.Fatalf("applied=%d fenced=%d", applied, fenced)
+	}
+	if got := g.Committed(layout[0].Assigned[0]); got != 42 {
+		t.Fatalf("committed %d", got)
+	}
+	if got := g.Committed(layout[0].Assigned[1]); got != -1 {
+		t.Fatalf("fenced cell leaked: %d", got)
+	}
+	// Re-harvesting the same buffer is idempotent.
+	applied, _ = co.HarvestCells(nil, "g", gen, layout, buf)
+	if applied != 0 {
+		t.Fatalf("re-harvest applied %d", applied)
+	}
+}

@@ -1,0 +1,236 @@
+// Package group implements consumer-group coordination: membership with
+// join/leave/heartbeat, generation numbers, deterministic partition
+// assignment (range and round-robin), rebalance with a revoke→reassign
+// barrier, committed-offset tracking with per-group lag accounting, and the
+// cell layout of the per-group one-sided commit table.
+//
+// The package is transport-agnostic: a Coordinator is driven by the broker
+// request handlers in internal/core and calls back through Hooks for
+// everything that touches the log or the cluster (durable commit appends,
+// high watermarks, topic metadata, commit-table swaps). All state changes
+// are deterministic functions of the call order and the sim clock, so a
+// group's assignment history is byte-identical across worker and shard
+// settings.
+//
+// Protocol sketch (Kafka's GroupCoordinator, simplified):
+//
+//	Empty ──join──▶ Preparing ──all rejoined──▶ Completing ──all synced──▶ Stable
+//	   ▲                 ▲                                                  │
+//	   └──last leave─────┴────────────join / leave / session expiry─────────┘
+//
+// Joining members park until the join barrier completes (that parking IS the
+// revoke barrier: a member that has sent Join no longer polls, and the
+// generation does not advance until every known member has rejoined or the
+// rebalance timeout evicts the stragglers). The generation then bumps,
+// assignments are computed, parked Join replies fire, and members Sync to
+// fetch their partitions. Commits carry the generation and are fenced:
+// a commit with a stale generation is rejected (RPC path) or lands in a
+// deregistered memory region (one-sided path) — see DESIGN.md §8.
+package group
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// OffsetsTopic is the internal compacted topic that makes committed offsets
+// durable, mirroring Kafka's __consumer_offsets. A group's coordinator is
+// the leader of the offsets partition the group name hashes to.
+const OffsetsTopic = "__consumer_offsets"
+
+// TP names one topic partition.
+type TP struct {
+	Topic     string
+	Partition int32
+}
+
+func (tp TP) String() string { return fmt.Sprintf("%s/%d", tp.Topic, tp.Partition) }
+
+// Less orders TPs canonically: by topic, then partition.
+func (tp TP) Less(o TP) bool {
+	if tp.Topic != o.Topic {
+		return tp.Topic < o.Topic
+	}
+	return tp.Partition < o.Partition
+}
+
+// State is a group's lifecycle state.
+type State uint8
+
+const (
+	// StateEmpty: no members. The group retains its generation counter and
+	// committed offsets.
+	StateEmpty State = iota
+	// StatePreparing: a rebalance is in progress; members are rejoining.
+	StatePreparing
+	// StateCompleting: the generation has advanced and assignments are
+	// computed; members are fetching them via Sync.
+	StateCompleting
+	// StateStable: every member holds its assignment.
+	StateStable
+)
+
+func (s State) String() string {
+	switch s {
+	case StateEmpty:
+		return "empty"
+	case StatePreparing:
+		return "preparing"
+	case StateCompleting:
+		return "completing"
+	case StateStable:
+		return "stable"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Strategy selects the partition assignor.
+type Strategy uint8
+
+const (
+	// StrategyRange assigns contiguous partition chunks per topic, like
+	// Kafka's RangeAssignor.
+	StrategyRange Strategy = iota
+	// StrategyRoundRobin deals partitions across members one at a time,
+	// like Kafka's RoundRobinAssignor.
+	StrategyRoundRobin
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRange:
+		return "range"
+	case StrategyRoundRobin:
+		return "roundrobin"
+	}
+	return fmt.Sprintf("strategy(%d)", uint8(s))
+}
+
+// Config carries the coordinator's timing knobs. All timeouts are in
+// simulated time.
+type Config struct {
+	// SessionTimeout evicts a member that has not been heard from (default
+	// for members that do not request their own).
+	SessionTimeout time.Duration
+	// RebalanceTimeout bounds how long the join barrier waits for known
+	// members to rejoin before evicting stragglers and proceeding.
+	RebalanceTimeout time.Duration
+	// RebalanceDelay coalesces a burst of joins/leaves into one generation:
+	// the join barrier does not complete before this much time has passed
+	// since the group entered Preparing (Kafka's
+	// group.initial.rebalance.delay, applied to every rebalance here).
+	RebalanceDelay time.Duration
+	// HarvestInterval is how often the cluster-level harvester folds
+	// one-sided commit-table cells into the coordinator's committed map.
+	HarvestInterval time.Duration
+}
+
+// DefaultConfig returns the timing defaults used by the benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		SessionTimeout:   1 * time.Second,
+		RebalanceTimeout: 500 * time.Millisecond,
+		RebalanceDelay:   20 * time.Millisecond,
+		HarvestInterval:  50 * time.Millisecond,
+	}
+}
+
+// CoordinatorPartition maps a group name to its offsets partition (and
+// thereby to its coordinator broker: the partition's leader). FNV-1a, like
+// Kafka's abs(hash(group)) % partitions.
+func CoordinatorPartition(group string, partitions int) int32 {
+	if partitions <= 0 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(group))
+	return int32(h.Sum32() % uint32(partitions))
+}
+
+// Commit-table cell layout. Each member owns one cell per assigned
+// partition; cell i of its range corresponds to the i-th entry of its
+// Sync assignment. A commit is a single 16-byte one-sided WRITE:
+//
+//	bytes 0..3   generation the writer believes is current (LE)
+//	bytes 4..7   reserved (zero)
+//	bytes 8..15  committed offset + 1 (LE; zero means "never written")
+//
+// The +1 bias makes the all-zero fresh table decode as empty, so a table
+// never needs initialization beyond allocation.
+const CellSize = 16
+
+// EncodeCell writes a cell image into dst (len >= CellSize).
+func EncodeCell(dst []byte, gen int32, offset int64) {
+	binary.LittleEndian.PutUint32(dst[0:4], uint32(gen))
+	binary.LittleEndian.PutUint32(dst[4:8], 0)
+	binary.LittleEndian.PutUint64(dst[8:16], uint64(offset)+1)
+}
+
+// DecodeCell parses a cell image. ok is false for a never-written cell.
+func DecodeCell(src []byte) (gen int32, offset int64, ok bool) {
+	raw := binary.LittleEndian.Uint64(src[8:16])
+	if raw == 0 {
+		return 0, 0, false
+	}
+	return int32(binary.LittleEndian.Uint32(src[0:4])), int64(raw - 1), true
+}
+
+// Offset-record codec: the value payload of one __consumer_offsets record.
+// The topic is compacted by (group, topic, partition); replaying the log and
+// keeping the last value per key reconstructs every group's committed map.
+//
+//	u16 group len | group | u16 topic len | topic | i32 partition
+//	| i32 generation | i64 offset
+//
+// (all little-endian, mirroring the kwire scratch codec's byte order).
+
+// AppendOffsetRecord appends the encoded record value to dst.
+func AppendOffsetRecord(dst []byte, group string, gen int32, tp TP, offset int64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(group)))
+	dst = append(dst, tmp[:2]...)
+	dst = append(dst, group...)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(tp.Topic)))
+	dst = append(dst, tmp[:2]...)
+	dst = append(dst, tp.Topic...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(tp.Partition))
+	dst = append(dst, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(gen))
+	dst = append(dst, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:8], uint64(offset))
+	dst = append(dst, tmp[:8]...)
+	return dst
+}
+
+// DecodeOffsetRecord parses a record value produced by AppendOffsetRecord.
+func DecodeOffsetRecord(buf []byte) (group string, gen int32, tp TP, offset int64, err error) {
+	str := func() (string, bool) {
+		if len(buf) < 2 {
+			return "", false
+		}
+		n := int(binary.LittleEndian.Uint16(buf[:2]))
+		buf = buf[2:]
+		if len(buf) < n {
+			return "", false
+		}
+		s := string(buf[:n])
+		buf = buf[n:]
+		return s, true
+	}
+	var ok bool
+	if group, ok = str(); !ok {
+		return "", 0, TP{}, 0, fmt.Errorf("group: truncated offsets record")
+	}
+	if tp.Topic, ok = str(); !ok {
+		return "", 0, TP{}, 0, fmt.Errorf("group: truncated offsets record")
+	}
+	if len(buf) < 4+4+8 {
+		return "", 0, TP{}, 0, fmt.Errorf("group: truncated offsets record")
+	}
+	tp.Partition = int32(binary.LittleEndian.Uint32(buf[0:4]))
+	gen = int32(binary.LittleEndian.Uint32(buf[4:8]))
+	offset = int64(binary.LittleEndian.Uint64(buf[8:16]))
+	return group, gen, tp, offset, nil
+}

@@ -1,0 +1,432 @@
+package group_test
+
+// Satellite regression test for the consumer-group subsystem: a chaos-killed
+// group member must trigger a rebalance whose assignment history is
+// byte-identical across workers (concurrent scenario replicas, exercising the
+// race detector) and across shards (the offsets-topic partition count, which
+// moves the coordinator role between brokers), with zero committed-offset
+// loss and every zombie commit rejected by generation fencing — on both the
+// RPC and the one-sided RDMA commit path.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kafkadirect/internal/chaos"
+	"kafkadirect/internal/client"
+	"kafkadirect/internal/core"
+	"kafkadirect/internal/group"
+	"kafkadirect/internal/krecord"
+	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/sim"
+)
+
+const (
+	rbTopic  = "t"
+	rbParts  = 8
+	rbGroup  = "cg"
+	rbRounds = 150 // records produced per partition
+)
+
+// rbTimes pins the scenario schedule (absolute simulation times).
+var rbTimes = struct {
+	produce                sim.Time
+	joinA, joinB           sim.Time
+	joinC, joinD           sim.Time
+	killC, killD           sim.Time
+	probes                 sim.Time
+	drainDeadline, horizon time.Duration
+}{
+	produce: 50 * time.Millisecond,
+	joinA:   300 * time.Millisecond,
+	joinB:   400 * time.Millisecond,
+	joinC:   500 * time.Millisecond,
+	joinD:   600 * time.Millisecond,
+	killC:   1200 * time.Millisecond,
+	killD:   1250 * time.Millisecond,
+	probes:  1900 * time.Millisecond,
+
+	drainDeadline: 3200 * time.Millisecond,
+	horizon:       4 * time.Second,
+}
+
+// rbOutcome is one scenario run, rendered for comparison. report must be
+// byte-identical across concurrent replicas of the same configuration;
+// invariants must additionally be byte-identical across offsets-topic
+// partition counts (where commit-path timing legitimately shifts by
+// microseconds, but membership history and committed state may not).
+type rbOutcome struct {
+	err        string
+	report     string
+	invariants string
+}
+
+// rbMember is one group member driven by its own process.
+type rbMember struct {
+	gc   *client.GroupConsumer
+	stop bool
+	seqs []uint64
+	err  string
+}
+
+func sleepUntil(p *sim.Proc, t sim.Time) {
+	if d := t - p.Now(); d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// runMember joins the group and polls until stopped. Members with
+// commitEach publish their positions after every non-empty poll; the
+// others consume without ever committing, so a later zombie commit is
+// guaranteed to have pending progress to push.
+func (m *rbMember) run(p *sim.Proc, e *client.Endpoint, mode client.CommitMode, commitEach bool) {
+	gc, err := client.NewGroupConsumer(p, e, client.GroupConfig{
+		Group:             rbGroup,
+		Topics:            []string{rbTopic},
+		Strategy:          group.StrategyRange,
+		HeartbeatInterval: 50 * time.Millisecond,
+		CommitMode:        mode,
+	})
+	if err != nil {
+		m.err = fmt.Sprintf("join: %v", err)
+		return
+	}
+	m.gc = gc
+	for !m.stop {
+		recs, err := gc.Poll(p)
+		if err != nil {
+			// Only the chaos-cut member exhausts its retry budget; its
+			// process just parks until the scenario ends.
+			return
+		}
+		for _, r := range recs {
+			m.seqs = append(m.seqs, binary.BigEndian.Uint64(r.Value))
+		}
+		if commitEach && len(recs) > 0 {
+			if err := gc.Commit(p); err != nil && m.err == "" && !m.stop {
+				// A commit rejected mid-rebalance is expected; Poll rejoins.
+				_ = err
+			}
+		}
+		p.Sleep(2 * time.Millisecond)
+	}
+}
+
+// runGroupScenario runs the full storm on a fresh simulation: staggered
+// joins of four members, one killed by a chaos link cut, one by a silent
+// crash-stop, then zombie commit probes and a drain to zero lag.
+func runGroupScenario(offsetsPartitions int) (out rbOutcome) {
+	fail := func(format string, a ...any) {
+		if out.err == "" {
+			out.err = fmt.Sprintf(format, a...)
+		}
+	}
+
+	env := sim.NewEnv(11)
+	cl := core.NewCluster(env, core.DefaultOptions())
+	cl.AddBrokers(3)
+	if err := cl.CreateTopic(rbTopic, rbParts, 2); err != nil {
+		return rbOutcome{err: err.Error()}
+	}
+	gcfg := group.Config{
+		SessionTimeout:   300 * time.Millisecond,
+		RebalanceTimeout: 200 * time.Millisecond,
+		RebalanceDelay:   10 * time.Millisecond,
+		HarvestInterval:  20 * time.Millisecond,
+	}
+	if err := cl.EnableGroups(offsetsPartitions, 1, gcfg); err != nil {
+		return rbOutcome{err: err.Error()}
+	}
+
+	// Member C dies by losing its links to every broker (chaos-triggered);
+	// member D dies by silently halting with its network intact, which is
+	// what makes its later zombie WRITE reach the deregistered table.
+	var faults []chaos.Fault
+	for _, b := range cl.Brokers() {
+		faults = append(faults, chaos.Fault{At: rbTimes.killC, Kind: chaos.LinkCut, Broker: b.ID(), Peer: "m-c"})
+	}
+	chaos.New(cl, chaos.Plan{Seed: 7, Faults: faults})
+
+	ccfg := client.DefaultConfig()
+	eProd := client.NewEndpoint(cl, "prod", ccfg)
+	eDrv := client.NewEndpoint(cl, "drv", ccfg)
+	members := [4]*rbMember{{}, {}, {}, {}}
+	ends := [4]*client.Endpoint{
+		client.NewEndpoint(cl, "m-a", ccfg),
+		client.NewEndpoint(cl, "m-b", ccfg),
+		client.NewEndpoint(cl, "m-c", ccfg),
+		client.NewEndpoint(cl, "m-d", ccfg),
+	}
+
+	// Producer: one record per partition per round, seq = round*parts+part.
+	env.Go("producer", func(p *sim.Proc) {
+		sleepUntil(p, rbTimes.produce)
+		var prs [rbParts]*client.RPCProducer
+		for part := 0; part < rbParts; part++ {
+			pr, err := client.NewTCPProducer(p, eProd, rbTopic, int32(part), 1, 42)
+			if err != nil {
+				fail("producer dial: %v", err)
+				return
+			}
+			prs[part] = pr
+		}
+		var val [8]byte
+		for round := 0; round < rbRounds; round++ {
+			for part := 0; part < rbParts; part++ {
+				binary.BigEndian.PutUint64(val[:], uint64(round*rbParts+part))
+				if _, err := prs[part].Produce(p, krecord.Record{Value: val[:], Timestamp: 1}); err != nil {
+					fail("produce r%d p%d: %v", round, part, err)
+					return
+				}
+			}
+			p.Sleep(8 * time.Millisecond)
+		}
+		for _, pr := range prs {
+			pr.Close()
+		}
+	})
+
+	starts := [4]sim.Time{rbTimes.joinA, rbTimes.joinB, rbTimes.joinC, rbTimes.joinD}
+	modes := [4]client.CommitMode{client.CommitOneSided, client.CommitRPC, client.CommitRPC, client.CommitOneSided}
+	commits := [4]bool{true, true, false, false} // C and D never commit while alive
+	for i := 0; i < 4; i++ {
+		i := i
+		env.Go(fmt.Sprintf("member-%c", 'a'+i), func(p *sim.Proc) {
+			sleepUntil(p, starts[i])
+			members[i].run(p, ends[i], modes[i], commits[i])
+		})
+	}
+
+	env.Go("driver", func(p *sim.Proc) {
+		sleepUntil(p, rbTimes.killC)
+		mc, md := members[2], members[3]
+		if mc.gc == nil || md.gc == nil {
+			fail("members not joined by kill time")
+			return
+		}
+		mc.stop = true // its links are being cut by the chaos plan right now
+		cID, cGen := mc.gc.MemberID(), mc.gc.Generation()
+		sleepUntil(p, rbTimes.killD)
+		md.stop = true
+		aID, aGen := members[0].gc.MemberID(), members[0].gc.Generation()
+		aTPs := append([]group.TP(nil), members[0].gc.Assigned()...)
+		if len(aTPs) == 0 {
+			fail("member a has no assignment at kill time")
+			return
+		}
+
+		// Session expiry evicts C then D; wait for the survivors' generation.
+		co := cl.GroupCoordinator()
+		g := co.Group(rbGroup)
+		for g.NumMembers() != 2 || g.State() != group.StateStable || g.Generation() != aGen+1 {
+			if p.Now() > 2500*time.Millisecond {
+				fail("no stable 2-member generation: members=%d state=%v gen=%d",
+					g.NumMembers(), g.State(), g.Generation())
+				return
+			}
+			p.Sleep(10 * time.Millisecond)
+		}
+
+		// Zombie probes. D wakes up and pushes its stale one-sided commit:
+		// the WRITE must complete with a remote access error because the
+		// old generation's table registration is gone.
+		sleepUntil(p, rbTimes.probes)
+		dErr := md.gc.Commit(p)
+		if dErr == nil || md.gc.Stats.FencedCommits != 1 {
+			fail("zombie one-sided commit not fenced: err=%v fenced=%d", dErr, md.gc.Stats.FencedCommits)
+			return
+		}
+
+		// Raw RPC probes: a live member id with a stale generation, and an
+		// evicted member id. Both offsets are poisoned; if either were
+		// applied, the final committed snapshot would show it.
+		tr, err := client.NewTCPTransport(p, eDrv, cl.CoordinatorBroker(rbGroup))
+		if err != nil {
+			fail("probe dial: %v", err)
+			return
+		}
+		var enc kwire.Scratch
+		probe := func(memberID string, gen int32) kwire.ErrCode {
+			req := kwire.GroupCommitReq{
+				Group: rbGroup, MemberID: memberID, Generation: gen,
+				Topic: aTPs[0].Topic, Partition: aTPs[0].Partition, Offset: 999_999,
+			}
+			if err := tr.Send(p, enc.Encode(1, &req)); err != nil {
+				fail("probe send: %v", err)
+				return kwire.ErrNone
+			}
+			raw, err := tr.Recv(p)
+			if err != nil {
+				fail("probe recv: %v", err)
+				return kwire.ErrNone
+			}
+			var resp kwire.GroupCommitResp
+			_, derr := kwire.DecodeInto(raw, &resp)
+			tr.Recycle(raw)
+			if derr != nil {
+				fail("probe decode: %v", derr)
+				return kwire.ErrNone
+			}
+			return resp.Err
+		}
+		staleGenCode := probe(aID, aGen)
+		evictedCode := probe(cID, cGen)
+		tr.Close()
+
+		// Drain: the two survivors re-consume the dead members' partitions
+		// from the last committed offsets and work the lag down to zero.
+		for g.Lag() != 0 {
+			if time.Duration(p.Now()) > rbTimes.drainDeadline {
+				fail("lag stuck at %d", g.Lag())
+				return
+			}
+			p.Sleep(5 * time.Millisecond)
+		}
+		members[0].stop, members[1].stop = true, true
+		p.Sleep(50 * time.Millisecond) // final harvest folds trailing cells
+
+		// Zero committed-offset loss, part 1: every partition fully committed.
+		snap := g.CommittedSnapshot()
+		if len(snap) != rbParts {
+			fail("snapshot has %d partitions", len(snap))
+			return
+		}
+		for _, co := range snap {
+			if co.Offset != rbRounds {
+				fail("partition %v committed %d, want %d", co.TP, co.Offset, rbRounds)
+				return
+			}
+		}
+		// Part 2: replaying __consumer_offsets reproduces coordinator memory.
+		replay := cl.ReplayGroupOffsets()
+		if len(replay) != len(snap) {
+			fail("replay has %d entries, snapshot %d", len(replay), len(snap))
+			return
+		}
+		for i, ro := range replay {
+			if ro.Group != rbGroup || ro.TP != snap[i].TP || ro.Offset != snap[i].Offset {
+				fail("replay[%d]=%+v does not match snapshot %+v", i, ro, snap[i])
+				return
+			}
+		}
+		// Part 3: delivery audit — every produced record reached a member.
+		delivered := make(map[uint64]int, rbRounds*rbParts)
+		total := 0
+		for _, m := range members {
+			for _, s := range m.seqs {
+				delivered[s]++
+				total++
+			}
+		}
+		lost := 0
+		for s := 0; s < rbRounds*rbParts; s++ {
+			if delivered[uint64(s)] == 0 {
+				lost++
+			}
+		}
+		dups := total - len(delivered)
+
+		st := g.Stats()
+		var inv strings.Builder
+		fmt.Fprintf(&inv, "history-checksum=%#016x\n", g.HistoryChecksum())
+		for _, rec := range g.History() {
+			fmt.Fprintf(&inv, "gen %d: %d members\n", rec.Gen, len(rec.Members))
+		}
+		for _, co := range snap {
+			fmt.Fprintf(&inv, "committed %s/%d=%d\n", co.TP.Topic, co.TP.Partition, co.Offset)
+		}
+		fmt.Fprintf(&inv, "lost=%d rebalances=%d evictions=%d fenced-cells=%d\n",
+			lost, st.Rebalances, st.Evictions, st.FencedCells)
+		fmt.Fprintf(&inv, "stale-gen-commit=%v evicted-commit=%v zombie-write=fenced\n",
+			staleGenCode, evictedCode)
+		out.invariants = inv.String()
+
+		var rep strings.Builder
+		rep.WriteString(out.invariants)
+		fmt.Fprintf(&rep, "dups=%d fenced-rpc=%d commits-applied=%d\n", dups, st.FencedRPC, st.CommitsApplied)
+		for i, m := range members {
+			fmt.Fprintf(&rep, "member-%c %+v\n", 'a'+i, m.gc.Stats)
+		}
+		out.report = rep.String()
+
+		if lost != 0 {
+			fail("%d records lost", lost)
+		}
+		if staleGenCode != kwire.ErrIllegalGeneration {
+			fail("stale-generation commit answered %v", staleGenCode)
+		}
+		if evictedCode != kwire.ErrUnknownMember {
+			fail("evicted-member commit answered %v", evictedCode)
+		}
+		if st.Evictions != 2 || st.FencedRPC < 2 {
+			fail("coordinator stats %+v", st)
+		}
+		if members[0].gc.Stats.CommitsOneSided == 0 || members[1].gc.Stats.CommitsRPC == 0 {
+			fail("commit paths unexercised: a=%+v b=%+v", members[0].gc.Stats, members[1].gc.Stats)
+		}
+		if hist := g.History(); len(hist) != 5 || len(hist[4].Members) != 2 {
+			fail("history shape: %d records", len(hist))
+		}
+	})
+
+	env.RunUntil(rbTimes.horizon)
+	env.Shutdown()
+	for i, m := range members {
+		if m.err != "" {
+			fail("member-%c: %s", 'a'+i, m.err)
+		}
+	}
+	if out.report == "" && out.err == "" {
+		out.err = "driver never reported"
+	}
+	return out
+}
+
+// TestRebalanceDeterminismMatrix runs the chaos-rebalance scenario across
+// shards ∈ {1,4} (offsets-topic partition counts — each placing the
+// coordinator on a different broker) × workers ∈ {1,8} (concurrent replicas
+// of the same configuration, each on its own simulation). Every replica of a
+// configuration must produce a byte-identical run report, and the membership
+// history, committed snapshot, and fencing outcomes must be byte-identical
+// across configurations too.
+func TestRebalanceDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scenario matrix; skipped with -short")
+	}
+	var baseline string
+	for _, shards := range []int{1, 4} {
+		for _, workers := range []int{1, 8} {
+			outs := make([]rbOutcome, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					outs[w] = runGroupScenario(shards)
+				}()
+			}
+			wg.Wait()
+			for w, out := range outs {
+				if out.err != "" {
+					t.Fatalf("shards=%d worker=%d: %s\n%s", shards, w, out.err, out.report)
+				}
+				if out.report != outs[0].report {
+					t.Fatalf("shards=%d: worker %d report diverged:\n%s\n--- vs worker 0 ---\n%s",
+						shards, w, out.report, outs[0].report)
+				}
+			}
+			if baseline == "" {
+				baseline = outs[0].invariants
+				t.Logf("invariants:\n%s", baseline)
+			} else if outs[0].invariants != baseline {
+				t.Fatalf("shards=%d invariants diverged:\n%s\n--- vs baseline ---\n%s",
+					shards, outs[0].invariants, baseline)
+			}
+		}
+	}
+}

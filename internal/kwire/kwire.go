@@ -47,6 +47,23 @@ const (
 	KindOffsetCommitResp
 	KindOffsetFetchReq
 	KindOffsetFetchResp
+	// Consumer-group coordination (DESIGN.md §8). New kinds append after the
+	// pre-group protocol so existing kind bytes stay stable on the wire.
+	KindJoinGroupReq
+	KindJoinGroupResp
+	KindSyncGroupReq
+	KindSyncGroupResp
+	KindHeartbeatReq
+	KindHeartbeatResp
+	KindLeaveGroupReq
+	KindLeaveGroupResp
+	KindGroupCommitReq
+	KindGroupCommitResp
+	KindCommitAccessReq
+	KindCommitAccessResp
+
+	// KindMax is the highest assigned kind; per-kind pools size off it.
+	KindMax = KindCommitAccessResp
 )
 
 // ErrCode is a protocol-level error code.
@@ -65,6 +82,11 @@ const (
 	ErrTimeout
 	ErrTopicExists
 	ErrInternal
+	// Consumer-group error codes (DESIGN.md §8).
+	ErrNotCoordinator
+	ErrRebalanceInProgress
+	ErrIllegalGeneration
+	ErrUnknownMember
 )
 
 func (e ErrCode) String() string {
@@ -91,6 +113,14 @@ func (e ErrCode) String() string {
 		return "TOPIC_EXISTS"
 	case ErrInternal:
 		return "INTERNAL"
+	case ErrNotCoordinator:
+		return "NOT_COORDINATOR"
+	case ErrRebalanceInProgress:
+		return "REBALANCE_IN_PROGRESS"
+	case ErrIllegalGeneration:
+		return "ILLEGAL_GENERATION"
+	case ErrUnknownMember:
+		return "UNKNOWN_MEMBER"
 	}
 	return fmt.Sprintf("ErrCode(%d)", int16(e))
 }
@@ -305,6 +335,124 @@ type OffsetFetchResp struct {
 }
 
 // ---------------------------------------------------------------------------
+// Consumer-group coordination (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+// JoinGroupReq enters (or re-enters) a consumer group. MemberID is empty on
+// the first join; the coordinator assigns one. Rejoining with the previous
+// MemberID preserves assignment affinity across generations.
+type JoinGroupReq struct {
+	Group    string
+	MemberID string
+	Topics   []string
+	// Strategy selects the partition assignor: 0 = range, 1 = round-robin.
+	Strategy             uint8
+	SessionTimeoutMicros int64
+}
+
+// JoinGroupResp carries the generation the member joined. Assignment is
+// computed server-side; members fetch it with SyncGroup once the join
+// barrier completes.
+type JoinGroupResp struct {
+	Err        ErrCode
+	Generation int32
+	MemberID   string
+	// Members lists the sorted member ids of the generation (observability;
+	// assignment is server-side so no client-side leader election happens).
+	Members []string
+}
+
+// TPAssign names one assigned topic partition.
+type TPAssign struct {
+	Topic     string
+	Partition int32
+}
+
+// SyncGroupReq asks for the member's assignment in a generation. Members
+// send it after their JoinGroupResp arrives (the join reply is what parks
+// on the rebalance barrier), so the coordinator answers immediately.
+type SyncGroupReq struct {
+	Group      string
+	MemberID   string
+	Generation int32
+}
+
+// SyncGroupResp returns the member's assigned partitions for Generation, in
+// the coordinator's canonical order (commit-table cells index into it).
+type SyncGroupResp struct {
+	Err        ErrCode
+	Generation int32
+	Assigned   []TPAssign
+}
+
+// HeartbeatReq keeps a member's session alive. ErrRebalanceInProgress in the
+// response tells the member to revoke its partitions and rejoin.
+type HeartbeatReq struct {
+	Group      string
+	MemberID   string
+	Generation int32
+}
+
+// HeartbeatResp acknowledges a heartbeat.
+type HeartbeatResp struct {
+	Err ErrCode
+}
+
+// LeaveGroupReq removes a member, triggering an immediate rebalance.
+type LeaveGroupReq struct {
+	Group    string
+	MemberID string
+}
+
+// LeaveGroupResp acknowledges a leave.
+type LeaveGroupResp struct {
+	Err ErrCode
+}
+
+// GroupCommitReq commits an offset on the RPC path with generation fencing:
+// commits from a stale generation or unknown member are rejected, unlike the
+// ungrouped OffsetCommitReq.
+type GroupCommitReq struct {
+	Group      string
+	MemberID   string
+	Generation int32
+	Topic      string
+	Partition  int32
+	Offset     int64
+}
+
+// GroupCommitResp acknowledges a fenced commit.
+type GroupCommitResp struct {
+	Err ErrCode
+}
+
+// CommitAccessReq asks for one-sided commit access: the coordinator's
+// per-generation offset table MR and this member's cell range within it.
+type CommitAccessReq struct {
+	Group      string
+	MemberID   string
+	Generation int32
+	// Session identifies the consumer's RDMA session at the coordinator.
+	Session uint32
+}
+
+// CommitAccessResp locates the member's commit cells. Cell i (16 bytes:
+// generation u32, pad u32, offset+1 u64) corresponds to the i-th entry of the
+// member's SyncGroupResp assignment; the table is registered per generation
+// and deregistered on rebalance, so writes from a fenced generation complete
+// with a remote-access error instead of clobbering newer commits.
+type CommitAccessResp struct {
+	Err        ErrCode
+	Generation int32
+	Addr       uint64
+	RKey       uint32
+	// SlotBase is the byte offset of the member's first cell inside the
+	// table; the member owns Cells consecutive cells from there.
+	SlotBase int64
+	Cells    int32
+}
+
+// ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------
 
@@ -444,6 +592,18 @@ func (*OffsetCommitReq) Kind() Kind   { return KindOffsetCommitReq }
 func (*OffsetCommitResp) Kind() Kind  { return KindOffsetCommitResp }
 func (*OffsetFetchReq) Kind() Kind    { return KindOffsetFetchReq }
 func (*OffsetFetchResp) Kind() Kind   { return KindOffsetFetchResp }
+func (*JoinGroupReq) Kind() Kind      { return KindJoinGroupReq }
+func (*JoinGroupResp) Kind() Kind     { return KindJoinGroupResp }
+func (*SyncGroupReq) Kind() Kind      { return KindSyncGroupReq }
+func (*SyncGroupResp) Kind() Kind     { return KindSyncGroupResp }
+func (*HeartbeatReq) Kind() Kind      { return KindHeartbeatReq }
+func (*HeartbeatResp) Kind() Kind     { return KindHeartbeatResp }
+func (*LeaveGroupReq) Kind() Kind     { return KindLeaveGroupReq }
+func (*LeaveGroupResp) Kind() Kind    { return KindLeaveGroupResp }
+func (*GroupCommitReq) Kind() Kind    { return KindGroupCommitReq }
+func (*GroupCommitResp) Kind() Kind   { return KindGroupCommitResp }
+func (*CommitAccessReq) Kind() Kind   { return KindCommitAccessReq }
+func (*CommitAccessResp) Kind() Kind  { return KindCommitAccessResp }
 
 func (m *ProduceReq) encode(w *writer) {
 	w.str(m.Topic)
@@ -711,6 +871,175 @@ func (m *OffsetFetchResp) decode(r *reader) error {
 	return r.err
 }
 
+func (m *JoinGroupReq) encode(w *writer) {
+	w.str(m.Group)
+	w.str(m.MemberID)
+	w.u16(uint16(len(m.Topics)))
+	for _, t := range m.Topics {
+		w.str(t)
+	}
+	w.u8(m.Strategy)
+	w.i64(m.SessionTimeoutMicros)
+}
+func (m *JoinGroupReq) decode(r *reader) error {
+	r.strInto(&m.Group)
+	r.strInto(&m.MemberID)
+	n := int(r.u16())
+	m.Topics = m.Topics[:0]
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Topics = append(m.Topics, r.str())
+	}
+	m.Strategy = r.u8()
+	m.SessionTimeoutMicros = r.i64()
+	return r.err
+}
+
+func (m *JoinGroupResp) encode(w *writer) {
+	w.i16(int16(m.Err))
+	w.i32(m.Generation)
+	w.str(m.MemberID)
+	w.u16(uint16(len(m.Members)))
+	for _, id := range m.Members {
+		w.str(id)
+	}
+}
+func (m *JoinGroupResp) decode(r *reader) error {
+	m.Err = ErrCode(r.i16())
+	m.Generation = r.i32()
+	r.strInto(&m.MemberID)
+	n := int(r.u16())
+	m.Members = m.Members[:0]
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Members = append(m.Members, r.str())
+	}
+	return r.err
+}
+
+func (m *SyncGroupReq) encode(w *writer) {
+	w.str(m.Group)
+	w.str(m.MemberID)
+	w.i32(m.Generation)
+}
+func (m *SyncGroupReq) decode(r *reader) error {
+	r.strInto(&m.Group)
+	r.strInto(&m.MemberID)
+	m.Generation = r.i32()
+	return r.err
+}
+
+func (m *SyncGroupResp) encode(w *writer) {
+	w.i16(int16(m.Err))
+	w.i32(m.Generation)
+	w.u16(uint16(len(m.Assigned)))
+	for _, a := range m.Assigned {
+		w.str(a.Topic)
+		w.i32(a.Partition)
+	}
+}
+func (m *SyncGroupResp) decode(r *reader) error {
+	m.Err = ErrCode(r.i16())
+	m.Generation = r.i32()
+	n := int(r.u16())
+	m.Assigned = m.Assigned[:0]
+	for i := 0; i < n && r.err == nil; i++ {
+		var a TPAssign
+		a.Topic = r.str()
+		a.Partition = r.i32()
+		m.Assigned = append(m.Assigned, a)
+	}
+	return r.err
+}
+
+func (m *HeartbeatReq) encode(w *writer) {
+	w.str(m.Group)
+	w.str(m.MemberID)
+	w.i32(m.Generation)
+}
+func (m *HeartbeatReq) decode(r *reader) error {
+	r.strInto(&m.Group)
+	r.strInto(&m.MemberID)
+	m.Generation = r.i32()
+	return r.err
+}
+
+func (m *HeartbeatResp) encode(w *writer) { w.i16(int16(m.Err)) }
+func (m *HeartbeatResp) decode(r *reader) error {
+	m.Err = ErrCode(r.i16())
+	return r.err
+}
+
+func (m *LeaveGroupReq) encode(w *writer) {
+	w.str(m.Group)
+	w.str(m.MemberID)
+}
+func (m *LeaveGroupReq) decode(r *reader) error {
+	r.strInto(&m.Group)
+	r.strInto(&m.MemberID)
+	return r.err
+}
+
+func (m *LeaveGroupResp) encode(w *writer) { w.i16(int16(m.Err)) }
+func (m *LeaveGroupResp) decode(r *reader) error {
+	m.Err = ErrCode(r.i16())
+	return r.err
+}
+
+func (m *GroupCommitReq) encode(w *writer) {
+	w.str(m.Group)
+	w.str(m.MemberID)
+	w.i32(m.Generation)
+	w.str(m.Topic)
+	w.i32(m.Partition)
+	w.i64(m.Offset)
+}
+func (m *GroupCommitReq) decode(r *reader) error {
+	r.strInto(&m.Group)
+	r.strInto(&m.MemberID)
+	m.Generation = r.i32()
+	r.strInto(&m.Topic)
+	m.Partition = r.i32()
+	m.Offset = r.i64()
+	return r.err
+}
+
+func (m *GroupCommitResp) encode(w *writer) { w.i16(int16(m.Err)) }
+func (m *GroupCommitResp) decode(r *reader) error {
+	m.Err = ErrCode(r.i16())
+	return r.err
+}
+
+func (m *CommitAccessReq) encode(w *writer) {
+	w.str(m.Group)
+	w.str(m.MemberID)
+	w.i32(m.Generation)
+	w.u32(m.Session)
+}
+func (m *CommitAccessReq) decode(r *reader) error {
+	r.strInto(&m.Group)
+	r.strInto(&m.MemberID)
+	m.Generation = r.i32()
+	m.Session = r.u32()
+	return r.err
+}
+
+func (m *CommitAccessResp) encode(w *writer) {
+	w.i16(int16(m.Err))
+	w.i32(m.Generation)
+	w.u64(m.Addr)
+	w.u32(m.RKey)
+	w.i64(m.SlotBase)
+	w.i32(m.Cells)
+}
+func (m *CommitAccessResp) decode(r *reader) error {
+	m.Err = ErrCode(r.i16())
+	m.Generation = r.i32()
+	m.Addr = r.u64()
+	m.RKey = r.u32()
+	m.SlotBase = r.i64()
+	m.Cells = r.i32()
+	return r.err
+}
+
 // newMessage allocates the message struct for a kind.
 func newMessage(k Kind) Message {
 	switch k {
@@ -750,6 +1079,30 @@ func newMessage(k Kind) Message {
 		return &OffsetFetchReq{}
 	case KindOffsetFetchResp:
 		return &OffsetFetchResp{}
+	case KindJoinGroupReq:
+		return &JoinGroupReq{}
+	case KindJoinGroupResp:
+		return &JoinGroupResp{}
+	case KindSyncGroupReq:
+		return &SyncGroupReq{}
+	case KindSyncGroupResp:
+		return &SyncGroupResp{}
+	case KindHeartbeatReq:
+		return &HeartbeatReq{}
+	case KindHeartbeatResp:
+		return &HeartbeatResp{}
+	case KindLeaveGroupReq:
+		return &LeaveGroupReq{}
+	case KindLeaveGroupResp:
+		return &LeaveGroupResp{}
+	case KindGroupCommitReq:
+		return &GroupCommitReq{}
+	case KindGroupCommitResp:
+		return &GroupCommitResp{}
+	case KindCommitAccessReq:
+		return &CommitAccessReq{}
+	case KindCommitAccessResp:
+		return &CommitAccessResp{}
 	}
 	return nil
 }

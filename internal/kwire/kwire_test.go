@@ -50,6 +50,18 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&OffsetCommitResp{Err: ErrNone},
 		&OffsetFetchReq{Group: "g", Topic: "t", Partition: 4},
 		&OffsetFetchResp{Err: ErrNone, Offset: -1},
+		&JoinGroupReq{Group: "g", MemberID: "g-2", Topics: []string{"t", "u"}, Strategy: 1, SessionTimeoutMicros: 500000},
+		&JoinGroupResp{Err: ErrNone, Generation: 3, MemberID: "g-2", Members: []string{"g-1", "g-2"}},
+		&SyncGroupReq{Group: "g", MemberID: "g-2", Generation: 3},
+		&SyncGroupResp{Err: ErrNone, Generation: 3, Assigned: []TPAssign{{Topic: "t", Partition: 0}, {Topic: "u", Partition: 5}}},
+		&HeartbeatReq{Group: "g", MemberID: "g-2", Generation: 3},
+		&HeartbeatResp{Err: ErrRebalanceInProgress},
+		&LeaveGroupReq{Group: "g", MemberID: "g-2"},
+		&LeaveGroupResp{Err: ErrUnknownMember},
+		&GroupCommitReq{Group: "g", MemberID: "g-2", Generation: 3, Topic: "t", Partition: 0, Offset: 1234},
+		&GroupCommitResp{Err: ErrIllegalGeneration},
+		&CommitAccessReq{Group: "g", MemberID: "g-2", Generation: 3, Session: 9},
+		&CommitAccessResp{Err: ErrNotCoordinator, Generation: 3, Addr: 0xabc0000, RKey: 77, SlotBase: 64, Cells: 4},
 	}
 	for i, m := range msgs {
 		roundTrip(t, uint32(i*13+1), m)
@@ -89,7 +101,7 @@ func TestErrCodeStringsAndErr(t *testing.T) {
 	if ErrNotLeader.Err() == nil {
 		t.Fatal("non-OK code should map to an error")
 	}
-	for c := ErrNone; c <= ErrInternal; c++ {
+	for c := ErrNone; c <= ErrUnknownMember; c++ {
 		if c.String() == "" {
 			t.Fatalf("no string for code %d", c)
 		}

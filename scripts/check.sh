@@ -20,19 +20,20 @@ echo "== go build ./... =="
 go build ./...
 
 # kdlint enforces the determinism / zero-copy / error-handling invariants
-# statically (see DESIGN.md §8). It needs the build above: analysis reads
+# statically (see DESIGN.md §9). It needs the build above: analysis reads
 # compiled export data out of the build cache.
 echo "== kdlint =="
 go run ./cmd/kdlint ./...
 
 # The failure-handling and sharded-kernel stack first: the DES kernel (both
 # the single heap and the conservative-parallel ShardGroup), the sharded
-# fabric, the fault injector, and the broker failover logic are where a data
+# fabric, the fault injector, the broker failover logic, and the consumer-
+# group rebalance matrix (concurrent scenario replicas) are where a data
 # race would corrupt everything downstream, so they gate the full suite.
 # The shard test matrices run parallel>1 configurations, so this is the
 # shards>1 race gate: real goroutines executing shard windows concurrently.
-echo "== go test -race (sim, fabric, chaos, core) =="
-go test -race ./internal/sim/ ./internal/fabric/ ./internal/chaos/ ./internal/core/
+echo "== go test -race (sim, fabric, chaos, core, group) =="
+go test -race ./internal/sim/ ./internal/fabric/ ./internal/chaos/ ./internal/core/ ./internal/group/
 
 echo "== go test -race ./... =="
 go test -race ./...
