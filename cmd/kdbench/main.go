@@ -5,10 +5,15 @@
 //	kdbench -fig all             # every experiment, in order
 //	kdbench -fig 6               # just Figure 6
 //	kdbench -fig emptyfetch      # the §5.3 empty-fetch table
-//	kdbench -list                # list experiment ids
+//	kdbench -list                # list experiment ids with descriptions
 //	kdbench -fig all -workers 8  # run data points on 8 workers
 //	kdbench -fig scale -shards 8 # sharded sims execute on 8 goroutines
 //	kdbench -fig all -json       # also write BENCH_figs.json (perf trajectory)
+//	kdbench -fig 10 -trace t.json -metrics m.txt
+//	                             # collect telemetry: Chrome trace + metrics
+//
+// Telemetry collection is passive: every table is byte-identical with
+// -trace/-metrics on or off (the obs determinism tests assert it).
 //
 // Table output is byte-identical for any -workers value: experiments and
 // their data points are deterministic simulations with fixed seeds, and the
@@ -19,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -26,7 +32,15 @@ import (
 	"time"
 
 	"kafkadirect/internal/bench"
+	"kafkadirect/internal/obs"
 )
+
+// printList writes every registered experiment with its one-line description.
+func printList(w io.Writer) {
+	for _, e := range bench.Experiments() {
+		fmt.Fprintf(w, "%-18s %s\n", e.ID, e.Desc)
+	}
+}
 
 // jsonReport is the schema of BENCH_figs.json: one record per figure with
 // its wall-clock cost and simulator event counts, so perf regressions in the
@@ -62,6 +76,8 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "number of parallel benchmark workers (1 = sequential)")
 	shards := flag.Int("shards", 0, "shard-execution parallelism for sharded simulations (0 = GOMAXPROCS, 1 = inline sequential)")
 	jsonOut := flag.Bool("json", false, "write per-figure perf metrics to BENCH_figs.json")
+	traceOut := flag.String("trace", "", "collect sim-time spans and write Chrome trace-event JSON to this file")
+	metricsOut := flag.String("metrics", "", "collect sim-time metrics and write the merged report to this file (- for stderr)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile at exit to this file")
 	flag.Parse()
@@ -98,9 +114,7 @@ func main() {
 	}
 
 	if *list {
-		for _, e := range bench.Experiments() {
-			fmt.Printf("%-12s %s\n", e.ID, e.Title)
-		}
+		printList(os.Stdout)
 		return
 	}
 
@@ -110,13 +124,21 @@ func main() {
 	} else {
 		e, ok := bench.Lookup(*fig)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "kdbench: unknown figure %q; try -list\n", *fig)
+			fmt.Fprintf(os.Stderr, "kdbench: unknown figure %q; available experiments:\n", *fig)
+			printList(os.Stderr)
 			os.Exit(1)
 		}
 		exps = []bench.Experiment{e}
 	}
 
 	bench.SetShardParallel(*shards)
+	if *traceOut != "" || *metricsOut != "" {
+		traceCap := 0
+		if *traceOut != "" {
+			traceCap = obs.DefaultTraceCap
+		}
+		bench.SetObsMode(*metricsOut != "", traceCap)
+	}
 
 	start := time.Now()
 	results := bench.RunExperiments(exps, *workers)
@@ -124,6 +146,31 @@ func main() {
 
 	for _, r := range results {
 		r.Table.Print(os.Stdout)
+	}
+
+	if *metricsOut != "" {
+		var b strings.Builder
+		bench.WriteObsMetrics(&b)
+		if *metricsOut == "-" {
+			fmt.Fprint(os.Stderr, b.String())
+		} else if err := os.WriteFile(*metricsOut, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "kdbench: write metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kdbench: create trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteObsTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kdbench: write trace: %v\n", err)
+			f.Close()
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "kdbench: wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
 	}
 
 	if *jsonOut {

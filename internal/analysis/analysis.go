@@ -86,6 +86,7 @@ var simPackages = map[string]bool{
 	"krecord": true,
 	"stream":  true,
 	"bench":   true,
+	"obs":     true,
 }
 
 // isSimPackage reports whether pkgPath is one of the simulation packages.

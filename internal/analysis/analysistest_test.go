@@ -155,6 +155,37 @@ func TestGroupPackageIsKdlintClean(t *testing.T) {
 	}
 }
 
+// TestObsPackageIsKdlintClean pins the telemetry layer into the lint gate.
+// internal/obs executes inside simulations (instrument updates run from
+// event handlers on every datapath), so it must stay in simPackages, and it
+// must be clean with zero findings AND zero //kdlint:allow escapes: the
+// zero-perturbation contract (DESIGN.md §10) leaves no legitimate reason for
+// the telemetry layer itself to touch a clock, shared state, or map order.
+// Like the group test, this loads one package and survives -short.
+func TestObsPackageIsKdlintClean(t *testing.T) {
+	if !simPackages["obs"] {
+		t.Error(`internal/obs missing from simPackages: simclock/maporder/shardstate no longer cover the telemetry layer`)
+	}
+	pkgs, err := Load("../..", "./internal/obs/")
+	if err != nil {
+		t.Fatalf("loading internal/obs: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("./internal/obs/ matched no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, te := range pkg.TypeErrors {
+			t.Fatalf("%s: type error: %v", pkg.PkgPath, te)
+		}
+		if allows := collectAllows(pkg); len(allows) != 0 {
+			t.Errorf("internal/obs carries %d //kdlint:allow directive(s), first at %s — the telemetry layer must be clean without suppressions", len(allows), allows[0].pos)
+		}
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}
+
 // TestRepoIsKdlintClean is the meta-test: the shipping tree must carry zero
 // findings under the full suite, so every invariant the fixtures demonstrate
 // also holds repo-wide. This is the same load cmd/kdlint performs.

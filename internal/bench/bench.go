@@ -103,6 +103,9 @@ func (t *Table) Print(w io.Writer) {
 type Experiment struct {
 	ID    string
 	Title string
+	// Desc is a one-line description of what the experiment sweeps and how
+	// (kdbench -list); Title is the rendered table heading.
+	Desc string
 	// Run executes the experiment standalone, discarding perf counters.
 	Run func() *Table
 	// run is the underlying implementation; the runner passes a Stats
@@ -113,11 +116,12 @@ type Experiment struct {
 // registry holds all experiments in display order.
 var registry []Experiment
 
-func register(id, title string, run func(st *Stats) *Table) {
+func register(id, title, desc string, run func(st *Stats) *Table) {
 	//kdlint:allow shardstate experiment registry filled from package init functions only, before any simulation exists
 	registry = append(registry, Experiment{
 		ID:    id,
 		Title: title,
+		Desc:  desc,
 		Run:   func() *Table { return run(new(Stats)) },
 		run:   run,
 	})
@@ -143,6 +147,9 @@ func figOrder(id string) float64 {
 	}
 	if id == "groups" {
 		return 250 // consumer-group experiment, between chaos and scale
+	}
+	if id == "attr" {
+		return 260 // latency attribution, after the workload experiments
 	}
 	if id == "scale" {
 		return 300 // simulator-scaling figure, last: it is about the harness

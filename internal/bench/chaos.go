@@ -22,7 +22,8 @@ import (
 // seed, same fault plan, same table, for any -workers value.
 
 func init() {
-	register("chaos", "Fault injection: recovery time and acked-record durability (3 brokers, rf=3)", runChaos)
+	register("chaos", "Fault injection: recovery time and acked-record durability (3 brokers, rf=3)",
+		"Crashes and restarts brokers mid-produce, auditing failover time and acked-record loss", runChaos)
 }
 
 // chaosFaultTimes are the injection instants of the three producer-visible

@@ -11,11 +11,16 @@ import (
 )
 
 func init() {
-	register("fig18", "Consumer fetch latency, preloaded records (us)", fig18)
-	register("emptyfetch", "Empty-fetch cost: latency and broker-side throughput (§5.3)", emptyFetch)
-	register("fig19", "End-to-end produce->consume latency (us)", fig19)
-	register("fig20", "Consume goodput (MiB/s)", fig20)
-	register("ablation-fetchsize", "Ablation: RDMA consumer fetch size vs latency and goodput", ablationFetchSize)
+	register("fig18", "Consumer fetch latency, preloaded records (us)",
+		"Closed-loop fetch RTT of each system over preloaded records, swept by record size", fig18)
+	register("emptyfetch", "Empty-fetch cost: latency and broker-side throughput (§5.3)",
+		"Cost of polling an empty partition: RPC fetch vs one-sided metadata-slot read", emptyFetch)
+	register("fig19", "End-to-end produce->consume latency (us)",
+		"Producer-to-consumer delivery latency with both sides live, swept by record size", fig19)
+	register("fig20", "Consume goodput (MiB/s)",
+		"Open-loop consume bandwidth per system, swept by record size", fig20)
+	register("ablation-fetchsize", "Ablation: RDMA consumer fetch size vs latency and goodput",
+		"Sweeps the RDMA consumer's fetch window to expose the latency/goodput trade-off", ablationFetchSize)
 }
 
 // preload appends n records of the given size through the fast path (direct

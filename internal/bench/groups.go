@@ -25,6 +25,7 @@ import (
 func init() {
 	register("groups",
 		"Consumer groups: rebalance storm, lag drain vs group size, commit paths (3 brokers)",
+		"Rebalance storm with member kills, lag drain vs group size, and RPC vs one-sided commits",
 		runGroups)
 }
 

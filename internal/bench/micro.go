@@ -19,9 +19,12 @@ import (
 // paper's prototypes.
 
 func init() {
-	register("fig06", "Aggregated write goodput of RDMA produce approaches vs message size", fig06)
-	register("fig07", "Latency and goodput of notification approaches (WriteWithImm vs Write+Send)", fig07)
-	register("fig08", "Latency and goodput of batching 64-byte RDMA writes", fig08)
+	register("fig06", "Aggregated write goodput of RDMA produce approaches vs message size",
+		"Raw-verb microbenchmark of the produce approaches (exclusive, shared CAS/FAA), no broker", fig06)
+	register("fig07", "Latency and goodput of notification approaches (WriteWithImm vs Write+Send)",
+		"Raw-verb microbenchmark comparing the two write-notification verb sequences", fig07)
+	register("fig08", "Latency and goodput of batching 64-byte RDMA writes",
+		"Raw-verb microbenchmark of doorbell batching for tiny writes", fig08)
 }
 
 // microRig is a one-responder verbs testbed.

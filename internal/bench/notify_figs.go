@@ -9,7 +9,8 @@ import (
 )
 
 func init() {
-	register("ablation-notify", "Ablation: WriteWithImm vs Write+Send notification inside the full broker", ablationNotify)
+	register("ablation-notify", "Ablation: WriteWithImm vs Write+Send notification inside the full broker",
+		"Replays the Fig. 7 notification comparison through the full broker datapath", ablationNotify)
 }
 
 // ablationNotify runs the §4.2.2 notification-method comparison through the

@@ -6,10 +6,14 @@ import (
 )
 
 func init() {
-	register("fig10", "Produce latency, no replication (us)", fig10)
-	register("fig11", "Produce goodput to one partition, no replication (MiB/s)", fig11)
-	register("fig12", "Produce goodput vs number of partitions, 32 KiB records (GiB/s)", fig12)
-	register("fig13", "Total goodput vs producers with ONE API worker, 4 KiB records (MiB/s)", fig13)
+	register("fig10", "Produce latency, no replication (us)",
+		"Closed-loop produce RTT of each system on one unreplicated partition, swept by record size", fig10)
+	register("fig11", "Produce goodput to one partition, no replication (MiB/s)",
+		"Open-loop produce bandwidth to one partition, swept by record size", fig11)
+	register("fig12", "Produce goodput vs number of partitions, 32 KiB records (GiB/s)",
+		"Aggregate produce bandwidth as partitions scale out across the broker", fig12)
+	register("fig13", "Total goodput vs producers with ONE API worker, 4 KiB records (MiB/s)",
+		"Contention on a single API worker: RDMA producers bypass it, RPC producers serialize", fig13)
 }
 
 // latencySizes and bandwidthSizes mirror the paper's x axes.

@@ -9,10 +9,14 @@ import (
 )
 
 func init() {
-	register("fig14", "Produce latency with 3-way replication (us)", fig14)
-	register("fig15", "Produce goodput with 3-way replication (MiB/s)", fig15)
-	register("fig16", "Produce goodput vs replication factor, 32 KiB records (MiB/s)", fig16)
-	register("fig17", "Goodput of 32 B produces vs replication batch size (MiB/s)", fig17)
+	register("fig14", "Produce latency with 3-way replication (us)",
+		"acks=all produce RTT with rf=3, crossing produce datapath with pull/push replication", fig14)
+	register("fig15", "Produce goodput with 3-way replication (MiB/s)",
+		"Open-loop produce bandwidth with rf=3 for each produce/replication combination", fig15)
+	register("fig16", "Produce goodput vs replication factor, 32 KiB records (MiB/s)",
+		"How goodput decays as the replica set grows, pull vs push replication", fig16)
+	register("fig17", "Goodput of 32 B produces vs replication batch size (MiB/s)",
+		"Small-record flood showing push-replication batching recovering goodput", fig17)
 }
 
 // replConfig is one line of Fig. 14/15: which produce datapath and which
@@ -180,7 +184,8 @@ func fig17(st *Stats) *Table {
 // ---------------------------------------------------------------------------
 
 func init() {
-	register("ablation-credits", "Ablation: push-replication credits vs goodput (MiB/s)", ablationCredits)
+	register("ablation-credits", "Ablation: push-replication credits vs goodput (MiB/s)",
+		"Sweeps the push-replication credit window to find where flow control throttles goodput", ablationCredits)
 }
 
 func ablationCredits(st *Stats) *Table {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kafkadirect/internal/core"
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/sim"
 )
 
@@ -25,7 +26,8 @@ import (
 // is identical — parallelism is a resource knob, never an input.
 
 func init() {
-	register("scale", "Sharded kernel scaling: one simulated cluster across shards (12/64/256 brokers)", runScale)
+	register("scale", "Sharded kernel scaling: one simulated cluster across shards (12/64/256 brokers)",
+		"Runs the capacity model at three cluster sizes, proving shard-count-invariant results", runScale)
 }
 
 // scaleSizes are the swept cluster sizes. ClientsPerBroker comes from
@@ -121,6 +123,18 @@ func runScaleCell(c *scaleCell) {
 	defer g.Shutdown()
 	g.SetParallel(ShardParallel())
 	sc := core.NewShardedCluster(g, cfg)
+	// Under global telemetry collection each shard gets a private registry
+	// (spans are off: the sharded model emits metrics only) and the canonical
+	// merge is folded into the collector after the run.
+	carrier := newRigObs()
+	if carrier != nil {
+		carrier.Trace = nil
+		per := make([]*obs.Obs, c.shards)
+		for i := range per {
+			per[i] = obs.New(0)
+		}
+		sc.SetObs(per)
+	}
 	c.clients = c.brokers * cfg.ClientsPerBroker
 	sc.Start()
 	//kdlint:allow simclock measures real elapsed runner time for the scaling points, not simulated time
@@ -133,4 +147,8 @@ func runScaleCell(c *scaleCell) {
 	c.snapshot = sc.Snapshot()
 	c.events = g.Executed()
 	c.handoffs = g.Handoffs()
+	if carrier != nil {
+		carrier.Reg.MergeFrom(sc.Net().MergedRegistry())
+		collectRigObs(carrier)
+	}
 }

@@ -8,7 +8,8 @@ import (
 )
 
 func init() {
-	register("fig21", "Event delays under constant-rate and periodic-burst IoT workloads (§5.4)", fig21)
+	register("fig21", "Event delays under constant-rate and periodic-burst IoT workloads (§5.4)",
+		"Streaming delivery delay under steady and bursty open-loop arrival processes", fig21)
 }
 
 // fig21 reproduces the streaming-benchmark experiment: JSON sensor events

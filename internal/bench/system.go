@@ -8,6 +8,7 @@ import (
 	"kafkadirect/internal/core"
 	"kafkadirect/internal/krecord"
 	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/sim"
 )
 
@@ -40,6 +41,12 @@ type sysRig struct {
 	cl             *core.Cluster
 	clientInFlight int
 	st             *Stats
+
+	// o is the rig's telemetry bundle (nil when collection is off); collect
+	// marks it for the global collector at teardown (rig-local bundles, like
+	// the attr figure's, stay private to their experiment).
+	o       *obs.Obs
+	collect bool
 }
 
 // rigConfig parameterises a deployment.
@@ -55,6 +62,9 @@ type rigConfig struct {
 	clientInFlight int
 	// stats, when set, receives the rig's executed-event count at teardown.
 	stats *Stats
+	// obs forces a rig-local telemetry bundle regardless of the global
+	// collection mode (the attr figure reads its own registry directly).
+	obs *obs.Obs
 }
 
 func newSysRig(cfg rigConfig) *sysRig {
@@ -84,9 +94,15 @@ func newSysRig(cfg rigConfig) *sysRig {
 	if cfg.brokers <= 0 {
 		cfg.brokers = 1
 	}
+	o, collect := cfg.obs, false
+	if o == nil {
+		o, collect = newRigObs(), true
+	}
+	opts.Obs = o
 	cl := core.NewCluster(env, opts)
 	cl.AddBrokers(cfg.brokers)
-	return &sysRig{env: env, cl: cl, clientInFlight: cfg.clientInFlight, st: cfg.stats}
+	return &sysRig{env: env, cl: cl, clientInFlight: cfg.clientInFlight, st: cfg.stats,
+		o: o, collect: collect}
 }
 
 func (r *sysRig) topic(name string, partitions, rf int) {
@@ -116,6 +132,9 @@ func (r *sysRig) run(fn func(p *sim.Proc)) {
 	r.env.RunUntil(600 * time.Second)
 	r.env.Shutdown()
 	r.st.AddEvents(r.env.Executed())
+	if r.collect {
+		collectRigObs(r.o)
+	}
 	r.cl.Release()
 }
 

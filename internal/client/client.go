@@ -23,6 +23,7 @@ import (
 
 	"kafkadirect/internal/core"
 	"kafkadirect/internal/fabric"
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/rdma"
 	"kafkadirect/internal/sim"
 	"kafkadirect/internal/tcpnet"
@@ -102,6 +103,17 @@ type Endpoint struct {
 	host    *tcpnet.Host
 	dev     *rdma.Device
 	pd      *rdma.PD
+
+	// Telemetry handles, cached from the fabric's obs bundle at
+	// construction (all nil when telemetry is disabled).
+	o          *obs.Obs
+	stEncode   *obs.Histogram // stage/client_encode: batch build + defensive copy
+	stWakeup   *obs.Histogram // stage/client_wakeup: thread handoff + poll wakeup
+	stCQEWait  *obs.Histogram // stage/client_cqe_wait: CQE residency until poll
+	stOSUSend  *obs.Histogram // stage/client_osu_send: two-sided send-side cost
+	stOSURecv  *obs.Histogram // stage/client_osu_recv: two-sided recv-side cost
+	obsRetries *obs.Counter   // client/retries
+	obsBackoff *obs.Counter   // client/backoff_ns
 }
 
 // NewEndpointWithConfig is NewEndpoint (it exists for call sites that read
@@ -114,13 +126,22 @@ func NewEndpointWithConfig(cl *core.Cluster, name string, cfg Config) *Endpoint 
 func NewEndpoint(cl *core.Cluster, name string, cfg Config) *Endpoint {
 	node := cl.Network().NewNode(name)
 	dev := rdma.NewDevice(node, cl.RDMACosts())
+	o := cl.Network().Obs()
 	return &Endpoint{
-		cluster: cl,
-		cfg:     cfg,
-		node:    node,
-		host:    cl.Stack().NewHost(node),
-		dev:     dev,
-		pd:      dev.AllocPD(),
+		cluster:    cl,
+		cfg:        cfg,
+		node:       node,
+		host:       cl.Stack().NewHost(node),
+		dev:        dev,
+		pd:         dev.AllocPD(),
+		o:          o,
+		stEncode:   o.Histogram("stage/client_encode"),
+		stWakeup:   o.Histogram("stage/client_wakeup"),
+		stCQEWait:  o.Histogram("stage/client_cqe_wait"),
+		stOSUSend:  o.Histogram("stage/client_osu_send"),
+		stOSURecv:  o.Histogram("stage/client_osu_recv"),
+		obsRetries: o.Counter("client/retries"),
+		obsBackoff: o.Counter("client/backoff_ns"),
 	}
 }
 
@@ -205,6 +226,8 @@ type retrier struct {
 	delay    time.Duration
 	max      time.Duration
 	deadline time.Duration
+	retries  *obs.Counter // client/retries
+	backoff  *obs.Counter // client/backoff_ns
 }
 
 func (e *Endpoint) newRetrier(p *sim.Proc) retrier {
@@ -212,6 +235,8 @@ func (e *Endpoint) newRetrier(p *sim.Proc) retrier {
 		delay:    e.cfg.RetryBackoff,
 		max:      e.cfg.RetryBackoffMax,
 		deadline: p.Env().Now() + e.cfg.RetryTimeout,
+		retries:  e.obsRetries,
+		backoff:  e.obsBackoff,
 	}
 }
 
@@ -221,6 +246,8 @@ func (r *retrier) wait(p *sim.Proc) bool {
 	if p.Env().Now()+r.delay > r.deadline {
 		return false
 	}
+	r.retries.Inc()
+	r.backoff.AddDur(r.delay)
 	p.Sleep(r.delay)
 	if r.delay *= 2; r.delay > r.max {
 		r.delay = r.max
@@ -305,7 +332,9 @@ func NewOSUTransport(p *sim.Proc, e *Endpoint, broker *core.Broker) (Transport, 
 func (t *osuTransport) Send(p *sim.Proc, frame []byte) error {
 	// Copy into a registered send buffer, then post: the copy the one-sided
 	// design avoids.
+	start := p.Now()
 	p.Sleep(t.e.cfg.OSUSendCost + t.e.copyTime(len(frame)))
+	t.e.stOSUSend.ObserveDur(p.Now() - start)
 	cp := make([]byte, len(frame))
 	copy(cp, frame)
 	return t.qp.PostSend(rdma.SendWR{Op: rdma.OpSend, Local: cp, Unsignaled: true})
@@ -313,10 +342,13 @@ func (t *osuTransport) Send(p *sim.Proc, frame []byte) error {
 
 func (t *osuTransport) Recv(p *sim.Proc) ([]byte, error) {
 	cqe := t.qp.RecvCQ().Poll(p)
+	popNow := p.Now()
+	t.e.stCQEWait.ObserveDur(popNow - cqe.At)
 	if cqe.Status != rdma.StatusOK {
 		return nil, fmt.Errorf("%w: OSU recv %v", errQPFailed, cqe.Status)
 	}
 	p.Sleep(t.e.cfg.OSURecvCost + t.e.copyTime(cqe.ByteLen))
+	t.e.stOSURecv.ObserveDur(p.Now() - popNow)
 	frame := t.e.node.Network().WireBufs().Get(cqe.ByteLen)
 	copy(frame, t.bufs[cqe.WRID][:cqe.ByteLen])
 	if err := t.qp.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: t.bufs[cqe.WRID]}); err != nil {

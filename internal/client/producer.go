@@ -133,7 +133,9 @@ func (pr *RPCProducer) buildBatch(p *sim.Proc, recs []krecord.Record) ([]byte, e
 	if err != nil {
 		return nil, err
 	}
+	start := p.Now()
 	p.Sleep(pr.e.cfg.ProduceCPU + pr.e.copyTime(len(batch)))
+	pr.e.stEncode.ObserveDur(p.Now() - start)
 	return batch, nil
 }
 
@@ -199,7 +201,9 @@ func (pr *RPCProducer) produceOnce(p *sim.Proc, batch []byte) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	wkStart := p.Now()
 	p.Sleep(pr.e.cfg.ProduceWakeup)
+	pr.e.stWakeup.ObserveDur(p.Now() - wkStart)
 	if pr.ackMsg.Err == kwire.ErrNotLeader {
 		return 0, errNotLeader
 	}
@@ -485,6 +489,7 @@ func (pr *RDMAProducer) reserve(p *sim.Proc, size int) (order uint16, pos int64,
 			return 0, 0, err
 		}
 		cqe := pr.qp.SendCQ().Poll(p)
+		pr.e.stCQEWait.ObserveDur(p.Now() - cqe.At)
 		if cqe.Status != rdma.StatusOK {
 			// The word was deregistered: the grant was revoked or rolled.
 			if err := pr.requestAccess(p); err != nil {
@@ -539,6 +544,7 @@ func (pr *RDMAProducer) post(order uint16, pos int64, batch []byte) error {
 // recvAck consumes one broker acknowledgement (Fig. 3).
 func (pr *RDMAProducer) recvAck(p *sim.Proc) (*kwire.ProduceResp, error) {
 	cqe := pr.qp.RecvCQ().Poll(p)
+	pr.e.stCQEWait.ObserveDur(p.Now() - cqe.At)
 	if cqe.Status != rdma.StatusOK {
 		return nil, fmt.Errorf("%w: producer ack %v", errQPFailed, cqe.Status)
 	}
@@ -581,7 +587,9 @@ func (pr *RDMAProducer) Produce(p *sim.Proc, recs ...krecord.Record) (int64, err
 	}
 	// The producer still copies user data defensively (§5.1) — the copy the
 	// paper identifies as part of the irreducible 88 µs overhead.
+	encStart := p.Now()
 	p.Sleep(pr.e.cfg.ProduceCPU + pr.e.copyTime(len(batch)))
+	pr.e.stEncode.ObserveDur(p.Now() - encStart)
 	off, err := pr.produceOnce(p, batch)
 	if err == nil || !retryableErr(err) {
 		return off, err
@@ -617,7 +625,9 @@ func (pr *RDMAProducer) produceOnce(p *sim.Proc, batch []byte) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	wkStart := p.Now()
 	p.Sleep(pr.e.cfg.ProduceWakeup)
+	pr.e.stWakeup.ObserveDur(p.Now() - wkStart)
 	if resp.Err == kwire.ErrNotLeader {
 		return 0, errNotLeader
 	}

@@ -9,6 +9,7 @@ import (
 	"kafkadirect/internal/klog"
 	"kafkadirect/internal/krecord"
 	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/rdma"
 	"kafkadirect/internal/sim"
 	"kafkadirect/internal/tcpnet"
@@ -77,6 +78,25 @@ type Broker struct {
 	statRequests     uint64
 	statRDMAProduces uint64
 	statEmptyFetches uint64
+
+	// Telemetry handles, cached from the fabric's obs bundle at
+	// construction (all nil when telemetry is disabled). The stage
+	// histograms tile a request's path through the broker: network-thread
+	// receive, hand-off delay, shared-queue wait, API-worker service, and
+	// the response path (DESIGN.md §10).
+	o           *obs.Obs
+	stNetRecv   *obs.Histogram // stage/broker_net_recv
+	stHandoff   *obs.Histogram // stage/broker_handoff
+	stQueueWait *obs.Histogram // stage/broker_queue_wait
+	stAPI       *obs.Histogram // stage/broker_api
+	stRespWait  *obs.Histogram // stage/broker_resp_wait
+	stNetSend   *obs.Histogram // stage/broker_net_send
+	stCQEWait   *obs.Histogram // stage/broker_cqe_wait
+	stRDMAPoll  *obs.Histogram // stage/broker_rdma_poll
+	obsRequests *obs.Counter   // broker/requests
+	obsEmptyF   *obs.Counter   // broker/empty_fetches
+	obsQDepth   *obs.Gauge     // broker/queue_depth
+	obsHWLag    *obs.Gauge     // core/hw_lag: log end minus high watermark
 }
 
 type topicState struct {
@@ -101,6 +121,12 @@ type request struct {
 	msg       kwire.Message
 	completed bool
 
+	// Telemetry stamps (simulated time; zeroed with the record on release):
+	// when the source scheduled the hand-off and when the request entered
+	// the shared queue.
+	obsHandoff time.Duration
+	obsQueued  time.Duration
+
 	// Pool lifecycle. gen is bumped on every release so deferred closures
 	// (fetch purgatory wake-ups and timeouts) can detect that "their"
 	// request has been recycled for a new message. queued marks a request
@@ -121,6 +147,8 @@ type response struct {
 	// in §5.2 [38]).
 	zeroCopy int // payload bytes exempt from copy cost
 	frame    []byte
+	// obsPushed is when the response entered the response queue (telemetry).
+	obsPushed time.Duration
 }
 
 // newBroker constructs and starts a broker; use Cluster.AddBroker.
@@ -144,6 +172,20 @@ func newBroker(c *Cluster, id string) *Broker {
 		producerSessions:     make(map[uint32]*rdmaProducerSession),
 		consumerRDMASessions: make(map[uint32]*consumerSession),
 	}
+	o := c.net.Obs()
+	b.o = o
+	b.stNetRecv = o.Histogram("stage/broker_net_recv")
+	b.stHandoff = o.Histogram("stage/broker_handoff")
+	b.stQueueWait = o.Histogram("stage/broker_queue_wait")
+	b.stAPI = o.Histogram("stage/broker_api")
+	b.stRespWait = o.Histogram("stage/broker_resp_wait")
+	b.stNetSend = o.Histogram("stage/broker_net_send")
+	b.stCQEWait = o.Histogram("stage/broker_cqe_wait")
+	b.stRDMAPoll = o.Histogram("stage/broker_rdma_poll")
+	b.obsRequests = o.Counter("broker/requests")
+	b.obsEmptyF = o.Counter("broker/empty_fetches")
+	b.obsQDepth = o.Gauge("broker/queue_depth")
+	b.obsHWLag = o.Gauge("core/hw_lag")
 	b.pd = b.dev.AllocPD()
 	b.rdmaCQ = b.dev.CreateCQ(0)
 	b.produceFiles = newProduceFileTable()
@@ -211,8 +253,13 @@ func (b *Broker) releaseRequest(req *request) {
 // pooled request instead of a closure per message.
 func enqueueRequest(v any) {
 	req := v.(*request)
+	b := req.b
+	now := b.env.Now()
+	b.stHandoff.ObserveDur(now - req.obsHandoff)
+	req.obsQueued = now
+	b.obsQDepth.Add(1)
 	req.queued = true
-	req.b.reqQ.Push(req)
+	b.reqQ.Push(req)
 }
 
 func (b *Broker) getResponse() *response {
@@ -296,7 +343,11 @@ func (b *Broker) serveTCPConn(p *sim.Proc, conn *tcpnet.Conn) {
 		if err != nil {
 			return
 		}
+		recvStart := p.Now()
 		b.netRes.Use(p, conn.RecvCost(len(raw)))
+		recvEnd := p.Now()
+		b.stNetRecv.ObserveDur(recvEnd - recvStart)
+		b.o.Tracer().Emit(b.node.Track(), "broker.net_recv", "broker", recvStart, recvEnd)
 		k, ok := kwire.PeekKind(raw)
 		if !ok {
 			conn.Recycle(raw)
@@ -315,6 +366,7 @@ func (b *Broker) serveTCPConn(p *sim.Proc, conn *tcpnet.Conn) {
 		}
 		req := b.getRequest()
 		req.tcp, req.corr, req.msg = conn, corr, msg
+		req.obsHandoff = p.Now()
 		// Forwarding to an API worker costs 11 µs of latency (§5.1) but
 		// does not occupy either thread.
 		b.env.AfterArg(b.cfg.HandoffDelay, enqueueRequest, req)
@@ -326,6 +378,8 @@ func (b *Broker) serveTCPConn(p *sim.Proc, conn *tcpnet.Conn) {
 func (b *Broker) responder(p *sim.Proc) {
 	for {
 		r := b.respQ.Pop(p)
+		popNow := p.Now()
+		b.stRespWait.ObserveDur(popNow - r.obsPushed)
 		switch {
 		case r.tcp != nil:
 			costBytes := len(r.frame) - r.zeroCopy
@@ -341,6 +395,9 @@ func (b *Broker) responder(p *sim.Proc) {
 			b.rdmaRes.Use(p, b.cfg.OSUSendCost)
 			r.osu.send(r.frame) // send copies the frame
 		}
+		sendEnd := p.Now()
+		b.stNetSend.ObserveDur(sendEnd - popNow)
+		b.o.Tracer().Emit(b.node.Track(), "broker.net_send", "broker", popNow, sendEnd)
 		b.node.Network().WireBufs().Put(r.frame)
 		b.putResponse(r)
 	}
@@ -364,6 +421,7 @@ func (b *Broker) respondZC(req *request, msg kwire.Message, zcBytes int) {
 	frame := kwire.AppendEncode(wire.Get(64 + zcBytes)[:0], req.corr, msg)
 	resp := b.getResponse()
 	resp.tcp, resp.osu, resp.frame, resp.zeroCopy = req.tcp, req.osu, frame, zcBytes
+	resp.obsPushed = b.env.Now()
 	b.respQ.Push(resp)
 	if !req.dispatching && !req.queued {
 		b.releaseRequest(req)
@@ -375,9 +433,16 @@ func (b *Broker) apiWorker(p *sim.Proc) {
 	for {
 		req := b.reqQ.Pop(p)
 		req.queued = false
+		popNow := p.Now()
+		b.obsQDepth.Add(-1)
+		b.stQueueWait.ObserveDur(popNow - req.obsQueued)
 		b.statRequests++
+		b.obsRequests.Inc()
 		req.dispatching = true
 		b.dispatch(p, req)
+		apiEnd := p.Now()
+		b.stAPI.ObserveDur(apiEnd - popNow)
+		b.o.Tracer().Emit(b.node.Track(), "broker.api", "broker", popNow, apiEnd)
 		req.dispatching = false
 		if req.completed && !req.queued {
 			b.releaseRequest(req)
@@ -604,6 +669,7 @@ func (b *Broker) parkFetch(req *request, m *kwire.FetchReq, pt *Partition, isRep
 	wait := time.Duration(m.MaxWaitMicros) * time.Microsecond
 	if wait <= 0 {
 		b.statEmptyFetches++
+		b.obsEmptyF.Inc()
 		b.respond(req, b.fetchRespMsg(kwire.FetchResp{
 			Err:           kwire.ErrNone,
 			HighWatermark: pt.log.HighWatermark(),
@@ -620,6 +686,8 @@ func (b *Broker) parkFetch(req *request, m *kwire.FetchReq, pt *Partition, isRep
 	redispatch := func() {
 		if req.gen == gen && !req.completed {
 			req.queued = true
+			req.obsQueued = b.env.Now()
+			b.obsQDepth.Add(1)
 			b.reqQ.Push(req)
 		}
 	}
@@ -631,6 +699,7 @@ func (b *Broker) parkFetch(req *request, m *kwire.FetchReq, pt *Partition, isRep
 	b.env.After(wait, func() {
 		if req.gen == gen && !req.completed {
 			b.statEmptyFetches++
+			b.obsEmptyF.Inc()
 			b.respond(req, b.fetchRespMsg(kwire.FetchResp{
 				Err:           kwire.ErrNone,
 				HighWatermark: pt.log.HighWatermark(),

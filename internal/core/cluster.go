@@ -7,6 +7,7 @@ import (
 
 	"kafkadirect/internal/fabric"
 	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/rdma"
 	"kafkadirect/internal/sim"
 	"kafkadirect/internal/tcpnet"
@@ -24,6 +25,10 @@ type Options struct {
 	Fabric fabric.Config
 	TCP    tcpnet.Config
 	RDMA   rdma.Costs
+	// Obs enables deployment-wide telemetry (nil = disabled). NewCluster
+	// installs it on the fabric before any stack or broker is built, so
+	// every layer caches live instrument handles (obs package docs).
+	Obs *obs.Obs
 }
 
 // DefaultOptions is the calibrated testbed: 56 Gbit/s fabric, IPoIB-grade
@@ -69,6 +74,9 @@ type clusterTopic struct {
 // NewCluster creates an empty cluster on the environment.
 func NewCluster(env *sim.Env, opts Options) *Cluster {
 	net := fabric.New(env, opts.Fabric)
+	if opts.Obs != nil {
+		net.SetObs(opts.Obs)
+	}
 	return &Cluster{
 		env:       env,
 		cfg:       opts.Config,

@@ -8,6 +8,7 @@ import (
 	"kafkadirect/internal/group"
 	"kafkadirect/internal/krecord"
 	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/rdma"
 	"kafkadirect/internal/sim"
 )
@@ -39,6 +40,14 @@ type groupRuntime struct {
 
 	// batchScratch and valScratch are reused across offsets-record appends.
 	valScratch []byte
+
+	// o gates the harvester's telemetry: the lag walk only runs when a
+	// registry is attached. stHarvest records the sim time one harvest pass
+	// spends folding tables (the one-sided commit path's visibility latency);
+	// obsLag mirrors the summed consumer lag after each pass.
+	o         *obs.Obs
+	stHarvest *obs.Histogram
+	obsLag    *obs.Gauge
 }
 
 // groupTable is one group's registered commit table.
@@ -65,6 +74,9 @@ func (c *Cluster) EnableGroups(offsetsPartitions, replicationFactor int, gcfg gr
 		tables: make(map[string]*groupTable),
 		swapQ:  sim.NewQueue[string](),
 	}
+	rt.o = c.net.Obs()
+	rt.stHarvest = rt.o.Histogram("group/harvest_ns")
+	rt.obsLag = rt.o.Gauge("group/lag")
 	rt.co = group.NewCoordinator(c.env, gcfg, group.Hooks{
 		AppendCommit: func(p *sim.Proc, name string, gen int32, tp group.TP, offset int64) {
 			c.appendGroupCommit(p, name, gen, tp, offset)
@@ -93,6 +105,9 @@ func (c *Cluster) EnableGroups(offsetsPartitions, replicationFactor int, gcfg gr
 		},
 		OnGeneration: func(name string) { rt.swapQ.Push(name) },
 	})
+	if rt.o != nil {
+		rt.co.SetObs(rt.o)
+	}
 	c.groups = rt
 	c.env.Go("group-harvester", c.groupHarvester)
 	return nil
@@ -284,6 +299,7 @@ func (c *Cluster) groupHarvester(p *sim.Proc) {
 // harvestGroupTables folds every registered table, groups in sorted order.
 func (c *Cluster) harvestGroupTables(p *sim.Proc) {
 	rt := c.groups
+	start := p.Now()
 	names := make([]string, 0, len(rt.tables))
 	for name := range rt.tables {
 		names = append(names, name)
@@ -292,6 +308,14 @@ func (c *Cluster) harvestGroupTables(p *sim.Proc) {
 	for _, name := range names {
 		t := rt.tables[name]
 		rt.co.HarvestCells(p, name, t.gen, t.layout, t.buf)
+	}
+	rt.stHarvest.ObserveDur(p.Now() - start)
+	if rt.o != nil {
+		var lag int64
+		for _, name := range rt.co.GroupNames() {
+			lag += rt.co.Group(name).Lag()
+		}
+		rt.obsLag.Set(lag)
 	}
 }
 

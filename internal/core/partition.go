@@ -216,6 +216,9 @@ func (pt *Partition) advanceHW(hw int64) {
 	if after == before {
 		return
 	}
+	// Replication lag in offsets: how far the log end runs ahead of the
+	// committed watermark (the gauge's max is the window's worst lag).
+	pt.broker.obsHWLag.Set(pt.log.NextOffset() - after)
 	// Refresh every slot mirroring a segment whose committed byte moved.
 	for segID, refs := range pt.slotRefs {
 		seg := pt.log.Segment(segID)

@@ -202,6 +202,8 @@ func (b *Broker) ConnectOSU(clientDev *rdma.Device) (*rdma.QP, error) {
 func (b *Broker) rdmaPoller(p *sim.Proc) {
 	for {
 		cqe := b.rdmaCQ.Poll(p)
+		popNow := p.Now()
+		b.stCQEWait.ObserveDur(popNow - cqe.At)
 		p.Sleep(b.cfg.RDMACompletionCost)
 		if cqe.Status != rdma.StatusOK {
 			continue
@@ -226,10 +228,17 @@ func (b *Broker) rdmaPoller(p *sim.Proc) {
 				req.rdma.size = length
 			}
 			_ = cqe.QP.PostRecv(rdma.RQE{WRID: cqe.WRID, Buf: sess.bufs[cqe.WRID]})
+			pollEnd := p.Now()
+			b.stRDMAPoll.ObserveDur(pollEnd - popNow)
+			b.o.Tracer().Emit(b.node.Track(), "broker.rdma_poll", "broker", popNow, pollEnd)
+			req.obsHandoff = pollEnd
 			b.env.AfterArg(b.cfg.HandoffDelay, enqueueRequest, req)
 		case *replFollowerSession:
 			req := b.getRequest()
 			req.repl = replWriteEvent{sess: sess, imm: cqe.Imm, size: cqe.ByteLen}
+			pollEnd := p.Now()
+			b.stRDMAPoll.ObserveDur(pollEnd - popNow)
+			req.obsHandoff = pollEnd
 			b.env.AfterArg(b.cfg.HandoffDelay, enqueueRequest, req)
 		case *replAckSession:
 			buf := sess.bufs[cqe.WRID]
@@ -258,6 +267,10 @@ func (b *Broker) rdmaPoller(p *sim.Proc) {
 			}
 			req := b.getRequest()
 			req.osu, req.corr, req.msg = sess, corr, msg
+			pollEnd := p.Now()
+			b.stRDMAPoll.ObserveDur(pollEnd - popNow)
+			b.o.Tracer().Emit(b.node.Track(), "broker.rdma_poll", "broker", popNow, pollEnd)
+			req.obsHandoff = pollEnd
 			b.env.AfterArg(b.cfg.HandoffDelay, enqueueRequest, req)
 		}
 	}

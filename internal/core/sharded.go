@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"kafkadirect/internal/fabric"
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/sim"
 )
 
@@ -119,6 +120,13 @@ type SClient struct {
 	redirects uint64
 	xmit      uint64 // transmission counter, guards stale responses
 	watchXmit uint64 // transmission seen by the last watchdog tick
+
+	// Telemetry handles into the client's SHARD registry (nil-safe no-ops
+	// without SetObs); every update runs on the owning shard.
+	obsSent      *obs.Counter
+	obsAcked     *obs.Counter
+	obsRetries   *obs.Counter
+	obsRedirects *obs.Counter
 }
 
 // scMsg is the pooled message record for every model interaction: fabric
@@ -218,6 +226,22 @@ func NewShardedCluster(g *sim.ShardGroup, cfg ShardedConfig) *ShardedCluster {
 // Group and Net expose the underlying layers.
 func (sc *ShardedCluster) Group() *sim.ShardGroup  { return sc.g }
 func (sc *ShardedCluster) Net() *fabric.ShardedNet { return sc.net }
+
+// SetObs attaches one telemetry registry per shard: the fabric counts
+// messages and port occupancy, each client its produce-path outcomes —
+// always into its OWN shard's registry, so the parallel run never contends.
+// fabric.ShardedNet.MergedRegistry folds the aggregate after the run. Call
+// before Start.
+func (sc *ShardedCluster) SetObs(per []*obs.Obs) {
+	sc.net.SetObs(per)
+	for _, c := range sc.clients {
+		o := sc.net.ShardObs(c.node.Shard())
+		c.obsSent = o.Counter("score/produced")
+		c.obsAcked = o.Counter("score/acked")
+		c.obsRetries = o.Counter("score/retries")
+		c.obsRedirects = o.Counter("score/redirects")
+	}
+}
 
 // Config returns the model configuration.
 func (sc *ShardedCluster) Config() ShardedConfig { return sc.cfg }
@@ -323,6 +347,7 @@ func (c *SClient) transmit() {
 	lead := sc.brokers[view.leader[c.part]]
 	c.xmit++
 	c.sent++
+	c.obsSent.Inc()
 	seq := c.acked + 1
 	if sc.net.Reachable(c.node, lead.node) {
 		m := sc.take(shard)
@@ -337,6 +362,7 @@ func (c *SClient) transmit() {
 // onAck handles a commit acknowledgement from the leader.
 func (c *SClient) onAck(m *scMsg) {
 	if m.committed > c.acked {
+		c.obsAcked.Add(m.committed - c.acked)
 		c.acked = m.committed
 	}
 	if m.xmit == c.xmit && c.acked >= m.seq {
@@ -351,6 +377,7 @@ func (c *SClient) onRedirect(m *scMsg) {
 		return // stale response for an already-retired transmission
 	}
 	c.redirects++
+	c.obsRedirects.Inc()
 	c.transmit()
 }
 
@@ -363,6 +390,7 @@ func (c *SClient) onRedirect(m *scMsg) {
 func (c *SClient) onTimeout(m *scMsg) {
 	if c.xmit == c.watchXmit && c.xmit > 0 {
 		c.retries++
+		c.obsRetries.Inc()
 		c.transmit()
 	}
 	c.watchXmit = c.xmit

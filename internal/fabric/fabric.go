@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"kafkadirect/internal/bufpool"
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/sim"
 )
 
@@ -67,6 +68,19 @@ type Network struct {
 	// free list per Network is safe without locks: a simulation runs one
 	// process at a time, and each simulation owns its own Network.
 	wire bufpool.List
+
+	// o is the simulation's telemetry bundle (nil when disabled). The
+	// Network is the one object every layer of a deployment can reach, so
+	// it also distributes the obs handle: tcpnet stacks, RNICs, brokers,
+	// and clients fetch it at construction (SetObs must precede them).
+	o *obs.Obs
+
+	// Fabric-wide instruments (nil when disabled): message/byte totals and
+	// port busy time, from which link utilization over a window follows.
+	obsMsgs   *obs.Counter
+	obsBytes  *obs.Counter
+	obsTxBusy *obs.Counter
+	obsRxBusy *obs.Counter
 }
 
 // linkKey names an unordered node pair.
@@ -95,6 +109,23 @@ func New(env *sim.Env, cfg Config) *Network {
 
 // Env returns the simulation environment the fabric runs on.
 func (n *Network) Env() *sim.Env { return n.env }
+
+// SetObs enables telemetry on the fabric and everything built on top of it.
+// Call once, right after New and before any node, stack, device, or broker
+// is created — downstream layers cache their instrument handles at
+// construction. A nil handle (the default) disables telemetry; all
+// instrumented call sites degrade to nil checks (the zero-perturbation
+// contract, obs package docs).
+func (n *Network) SetObs(o *obs.Obs) {
+	n.o = o
+	n.obsMsgs = o.Counter("fabric/msgs")
+	n.obsBytes = o.Counter("fabric/bytes")
+	n.obsTxBusy = o.Counter("fabric/tx_busy_ns")
+	n.obsRxBusy = o.Counter("fabric/rx_busy_ns")
+}
+
+// Obs returns the fabric's telemetry bundle (nil when disabled).
+func (n *Network) Obs() *obs.Obs { return n.o }
 
 // Config returns the fabric configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -142,6 +173,11 @@ type Node struct {
 
 	txBytes uint64
 	rxBytes uint64
+
+	// track is the node's tracer track id (-1 when tracing is disabled);
+	// layers hosted on the node (RNIC, TCP host, broker threads) emit
+	// their spans onto it.
+	track int32
 }
 
 // NewNode registers a node with a unique name.
@@ -149,7 +185,7 @@ func (n *Network) NewNode(name string) *Node {
 	if _, dup := n.node[name]; dup {
 		panic(fmt.Sprintf("fabric: duplicate node %q", name))
 	}
-	nd := &Node{name: name, net: n}
+	nd := &Node{name: name, net: n, track: n.o.Track(name)}
 	n.node[name] = nd
 	return nd
 }
@@ -166,6 +202,9 @@ func (nd *Node) Network() *Network { return nd.net }
 // TxBytes and RxBytes report cumulative traffic counters (diagnostics).
 func (nd *Node) TxBytes() uint64 { return nd.txBytes }
 func (nd *Node) RxBytes() uint64 { return nd.rxBytes }
+
+// Track returns the node's tracer track id (-1 when tracing is disabled).
+func (nd *Node) Track() int32 { return nd.track }
 
 // SetDown marks the node crashed (or recovered). While down the node is
 // unreachable from every other node; its port pacers are left untouched so a
@@ -223,6 +262,17 @@ func (n *Network) reserve(from, to *Node, size int) time.Duration {
 	// after it finished leaving (store-and-forward at message granularity).
 	rxStart := txEnd + n.cfg.PropDelay - ser
 	arrive := to.rx.Reserve(rxStart, ser)
+	// Telemetry: pure recording, never a schedule (zero-perturbation).
+	// Busy time is the pacer occupancy each reservation added, so the
+	// counters sum to total port-busy nanoseconds; link utilization over a
+	// window is busy/elapsed.
+	n.obsMsgs.Inc()
+	n.obsBytes.Add(uint64(size))
+	n.obsTxBusy.AddDur(ser)
+	n.obsRxBusy.AddDur(ser)
+	if t := n.o.Tracer(); t != nil {
+		t.Emit(from.track, "wire", "fabric", now, arrive)
+	}
 	return arrive
 }
 

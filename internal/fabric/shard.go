@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"time"
 
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/sim"
 )
 
@@ -47,6 +48,17 @@ type ShardedNet struct {
 	// shard. Records are taken by the sending shard and released into the
 	// RECEIVING shard's pool at drain, so every pool access is shard-local.
 	pools [][]*snDeliver
+
+	// Per-shard telemetry, attached by SetObs. Each shard's instruments are
+	// touched only by code running on that shard (DeliverArg on the sender's,
+	// deliverStep on the receiver's), so no lock is needed; MergedRegistry
+	// folds them in shard-index order after the run. The handle slices are
+	// always g.Shards() long — nil elements record nothing.
+	obsShards []*obs.Obs
+	obsMsgs   []*obs.Counter
+	obsBytes  []*obs.Counter
+	obsTxBusy []*obs.Counter
+	obsRxBusy []*obs.Counter
 }
 
 type linkView struct {
@@ -109,7 +121,44 @@ func NewSharded(g *sim.ShardGroup, cfg Config) *ShardedNet {
 	for i := range n.views {
 		n.views[i] = linkView{down: make(map[string]bool), cut: make(map[linkKey]bool)}
 	}
+	s := g.Shards()
+	n.obsShards = make([]*obs.Obs, s)
+	n.obsMsgs = make([]*obs.Counter, s)
+	n.obsBytes = make([]*obs.Counter, s)
+	n.obsTxBusy = make([]*obs.Counter, s)
+	n.obsRxBusy = make([]*obs.Counter, s)
 	return n
+}
+
+// SetObs attaches one private registry per shard (index = shard). Every
+// instrument stays shard-local, so the parallel kernel never contends on
+// telemetry; a missing (nil) entry leaves that shard unobserved. Call before
+// the run starts.
+func (n *ShardedNet) SetObs(per []*obs.Obs) {
+	for s := 0; s < len(n.obsShards) && s < len(per); s++ {
+		o := per[s]
+		n.obsShards[s] = o
+		n.obsMsgs[s] = o.Counter("fabric/msgs")
+		n.obsBytes[s] = o.Counter("fabric/bytes")
+		n.obsTxBusy[s] = o.Counter("fabric/tx_busy_ns")
+		n.obsRxBusy[s] = o.Counter("fabric/rx_busy_ns")
+	}
+}
+
+// ShardObs returns shard's registry bundle (nil without SetObs).
+func (n *ShardedNet) ShardObs(shard int) *obs.Obs { return n.obsShards[shard] }
+
+// MergedRegistry folds every shard's registry into one, in shard-index
+// order — the canonical merge that makes the aggregate independent of how
+// shards interleaved at runtime. Call only after the run has stopped.
+func (n *ShardedNet) MergedRegistry() *obs.Registry {
+	out := obs.NewRegistry()
+	for _, o := range n.obsShards {
+		if o != nil {
+			out.MergeFrom(o.Reg)
+		}
+	}
+	return out
 }
 
 // Group returns the shard group the fabric runs on.
@@ -221,6 +270,9 @@ func (n *ShardedNet) DeliverArg(from, to *SNode, size int, onArrive func(any), a
 	ser := n.serTime(size)
 	txEnd := from.tx.Reserve(now, ser)
 	ready := txEnd + n.cfg.PropDelay - ser
+	n.obsMsgs[from.shard].Inc()
+	n.obsBytes[from.shard].Add(uint64(size))
+	n.obsTxBusy[from.shard].AddDur(ser)
 	d := n.take(from.shard)
 	d.to, d.ready, d.ser, d.size = to, ready, ser, size
 	d.fn, d.fnArg, d.arg = nil, onArrive, arg
@@ -243,6 +295,9 @@ func (n *ShardedNet) Deliver(from, to *SNode, size int, onArrive func()) {
 	ser := n.serTime(size)
 	txEnd := from.tx.Reserve(now, ser)
 	ready := txEnd + n.cfg.PropDelay - ser
+	n.obsMsgs[from.shard].Inc()
+	n.obsBytes[from.shard].Add(uint64(size))
+	n.obsTxBusy[from.shard].AddDur(ser)
 	d := n.take(from.shard)
 	d.to, d.ready, d.ser, d.size = to, ready, ser, size
 	d.fn, d.fnArg, d.arg = onArrive, nil, nil
@@ -259,6 +314,7 @@ func deliverStep(a any) {
 	to := d.to
 	arrive := to.rx.Reserve(d.ready, d.ser)
 	to.rxBytes += uint64(d.size)
+	d.net.obsRxBusy[to.shard].AddDur(d.ser)
 	//kdlint:allow shardstate drain context: deliverStep runs ON to.shard between windows; this is the destination's own kernel
 	env := d.net.g.Shard(to.shard)
 	if d.fn != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kafkadirect/internal/kwire"
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/sim"
 )
 
@@ -105,6 +106,11 @@ type Group struct {
 	committed   map[TP]int64
 	history     []GenRecord
 	stats       GroupStats
+
+	// preparingAt / completingAt stamp the entries into Preparing and
+	// Completing, for the rebalance phase-duration histograms.
+	preparingAt  sim.Time
+	completingAt sim.Time
 }
 
 // Coordinator manages every consumer group whose offsets partition this
@@ -118,6 +124,28 @@ type Coordinator struct {
 	cfg    Config
 	hooks  Hooks
 	groups map[string]*Group
+
+	// Telemetry handles, cached by SetObs. All nil-safe: a coordinator
+	// without telemetry records nothing at zero cost.
+	obsRebalances  *obs.Counter
+	obsEvictions   *obs.Counter
+	obsCommits     *obs.Counter
+	obsFencedRPC   *obs.Counter
+	obsFencedCells *obs.Counter
+	stJoinBarrier  *obs.Histogram
+	stSyncPhase    *obs.Histogram
+}
+
+// SetObs attaches telemetry to the coordinator. Call once, before group
+// activity; without it every instrument below stays nil and records nothing.
+func (c *Coordinator) SetObs(o *obs.Obs) {
+	c.obsRebalances = o.Counter("group/rebalances")
+	c.obsEvictions = o.Counter("group/evictions")
+	c.obsCommits = o.Counter("group/commits_applied")
+	c.obsFencedRPC = o.Counter("group/fenced_rpc")
+	c.obsFencedCells = o.Counter("group/fenced_cells")
+	c.stJoinBarrier = o.Histogram("group/rebalance_join_ns")
+	c.stSyncPhase = o.Histogram("group/rebalance_sync_ns")
 }
 
 // NewCoordinator builds a coordinator on the given simulation.
@@ -225,6 +253,7 @@ func (c *Coordinator) Sync(name, memberID string, gen int32) SyncResult {
 		g.syncPending--
 		if g.syncPending == 0 && g.state == StateCompleting {
 			g.state = StateStable
+			c.stSyncPhase.ObserveDur(c.env.Now() - g.completingAt)
 		}
 	}
 	return SyncResult{Err: kwire.ErrNone, Generation: g.generation, Assigned: m.assigned}
@@ -277,12 +306,14 @@ func (c *Coordinator) Commit(p *sim.Proc, name, memberID string, gen int32, tp T
 	m := g.members[memberID]
 	if m == nil {
 		g.stats.FencedRPC++
+		c.obsFencedRPC.Inc()
 		return kwire.ErrUnknownMember
 	}
 	m.lastBeat = c.env.Now()
 	c.armExpiry(g, m)
 	if gen != g.generation {
 		g.stats.FencedRPC++
+		c.obsFencedRPC.Inc()
 		return kwire.ErrIllegalGeneration
 	}
 	g.applyCommit(p, gen, tp, offset)
@@ -342,6 +373,7 @@ func (c *Coordinator) HarvestCells(p *sim.Proc, name string, gen int32, layout [
 			}
 			if cgen != gen {
 				g.stats.FencedCells++
+				c.obsFencedCells.Inc()
 				fenced++
 				continue
 			}
@@ -376,6 +408,8 @@ func (g *Group) prepareRebalance() {
 	g.state = StatePreparing
 	g.epoch++
 	g.stats.Rebalances++
+	co.obsRebalances.Inc()
+	g.preparingAt = co.env.Now()
 	g.notBefore = co.env.Now() + co.cfg.RebalanceDelay
 	for _, id := range g.sortedIDs() {
 		g.members[id].rejoined = false
@@ -417,6 +451,7 @@ func (g *Group) onRebalanceTimeout(epoch int) {
 		if !m.rejoined {
 			g.removeMember(m, kwire.ErrUnknownMember)
 			g.stats.Evictions++
+			g.co.obsEvictions.Inc()
 		}
 	}
 	if len(g.members) == 0 {
@@ -432,6 +467,8 @@ func (g *Group) completeJoin() {
 	co := g.co
 	g.generation++
 	now := co.env.Now()
+	co.stJoinBarrier.ObserveDur(now - g.preparingAt)
+	g.completingAt = now
 	ids := g.sortedIDs()
 	subs := make([]Subscription, 0, len(ids))
 	for _, id := range ids {
@@ -507,6 +544,7 @@ func (g *Group) applyCommit(p *sim.Proc, gen int32, tp TP, offset int64) {
 	}
 	g.committed[tp] = offset
 	g.stats.CommitsApplied++
+	g.co.obsCommits.Inc()
 	if g.co.hooks.AppendCommit != nil {
 		g.co.hooks.AppendCommit(p, g.name, gen, tp, offset)
 	}
@@ -538,6 +576,7 @@ func (c *Coordinator) scheduleExpiry(g *Group, m *Member, d time.Duration) {
 		m.expiryArmed = false
 		g.removeMember(m, kwire.ErrUnknownMember)
 		g.stats.Evictions++
+		c.obsEvictions.Inc()
 		g.memberGone()
 	})
 }

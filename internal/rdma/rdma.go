@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"kafkadirect/internal/fabric"
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/sim"
 )
 
@@ -174,6 +175,24 @@ type Device struct {
 	// qps lists every QP ever created on the device, so a device-wide
 	// failure (broker crash, fault injection) can flush all of them.
 	qps []*QP
+
+	// Telemetry handles, cached from the fabric's obs bundle at
+	// construction (all nil when telemetry is disabled). The stage
+	// histograms tile a work request's pipeline: requester engine time,
+	// request wire transit, responder processing (including any atomic-unit
+	// wait), and the acknowledgement's return transit. The ack stage is
+	// recorded only for signaled WRs: an unsignaled WR's transport ack is
+	// off the critical path — nothing waits for it — and recording it would
+	// break the latency-attribution tiling (DESIGN.md §10).
+	o          *obs.Obs
+	stReqNIC   *obs.Histogram // stage/rdma_req_nic
+	stWire     *obs.Histogram // stage/rdma_wire
+	stRespNIC  *obs.Histogram // stage/rdma_resp_nic
+	stRespWire *obs.Histogram // stage/rdma_resp_wire (Read/atomic responses)
+	stAckWire  *obs.Histogram // stage/rdma_ack_wire (Send/Write transport acks)
+	obsPosted  *obs.Counter   // rdma/wr_posted
+	obsCQEs    *obs.Counter   // rdma/cqes
+	obsQPErrs  *obs.Counter   // rdma/qp_errors
 }
 
 // AsyncEvent notifies about QP state changes (disconnects, fatal errors).
@@ -184,13 +203,23 @@ type AsyncEvent struct {
 
 // NewDevice opens a simulated RNIC on the given node.
 func NewDevice(node *fabric.Node, costs Costs) *Device {
+	o := node.Network().Obs()
 	return &Device{
-		env:     node.Network().Env(),
-		node:    node,
-		costs:   costs,
-		nextVA:  0x10000, // an arbitrary non-zero base, like a real VA space
-		mrs:     make(map[uint32]*MR),
-		atomics: make(map[uint64]*sim.Pacer),
+		env:        node.Network().Env(),
+		node:       node,
+		costs:      costs,
+		nextVA:     0x10000, // an arbitrary non-zero base, like a real VA space
+		mrs:        make(map[uint32]*MR),
+		atomics:    make(map[uint64]*sim.Pacer),
+		o:          o,
+		stReqNIC:   o.Histogram("stage/rdma_req_nic"),
+		stWire:     o.Histogram("stage/rdma_wire"),
+		stRespNIC:  o.Histogram("stage/rdma_resp_nic"),
+		stRespWire: o.Histogram("stage/rdma_resp_wire"),
+		stAckWire:  o.Histogram("stage/rdma_ack_wire"),
+		obsPosted:  o.Counter("rdma/wr_posted"),
+		obsCQEs:    o.Counter("rdma/cqes"),
+		obsQPErrs:  o.Counter("rdma/qp_errors"),
 	}
 }
 
@@ -338,6 +367,9 @@ type CQE struct {
 	HasImm bool
 	// Old is the pre-operation value for atomic completions.
 	Old uint64
+	// At is the simulated time the completion entered the CQ. Pollers use
+	// it to attribute how long a CQE sat unpolled (stage/*_cqe_wait).
+	At time.Duration
 }
 
 // CQ is a completion queue. Capacity 0 means unbounded. If a bounded CQ
@@ -381,6 +413,8 @@ func (c *CQ) push(e CQE) {
 		}
 		return
 	}
+	e.At = c.dev.env.Now()
+	c.dev.obsCQEs.Inc()
 	c.q.Push(e)
 }
 
@@ -545,6 +579,7 @@ func (qp *QP) fail(reason string) {
 		return
 	}
 	qp.state = QPError
+	qp.dev.obsQPErrs.Inc()
 	// Flush posted receives as error completions. Verbs guarantees one
 	// completion per posted WR once a QP enters the error state; dropping
 	// them instead would leak the buffers and leave consumers parked on the
@@ -602,6 +637,8 @@ func (qp *QP) PostSend(wr SendWR) error {
 	rec.wr = wr
 	rec.size = size
 	rec.wireBytes = wireBytes
+	rec.postedAt = now
+	d.obsPosted.Inc()
 	env.AtArg(ready, wrOnWire, rec)
 	return nil
 }
@@ -621,6 +658,13 @@ type wrRecord struct {
 	dst    []byte // write destination, read source, or atomic word
 	data   []byte // OpRead wire snapshot (from the fabric's wire free list)
 	old    uint64 // atomic pre-operation value
+	// Telemetry stamps (simulated time; zeroed with the record by putWR):
+	// when the WR was posted, left the requester engine, fully arrived at
+	// the responder, and finished responder processing.
+	postedAt time.Duration
+	onWireAt time.Duration
+	arriveAt time.Duration
+	doneAt   time.Duration
 }
 
 func (d *Device) getWR() *wrRecord {
@@ -652,13 +696,55 @@ func wrOnWire(v any) {
 	rec := v.(*wrRecord)
 	d := rec.qp.dev
 	remote := rec.qp.remote
+	now := d.env.Now()
+	d.stReqNIC.ObserveDur(now - rec.postedAt)
+	d.o.Tracer().Emit(d.node.Track(), "wr.req_nic", rec.wr.Op.String(), rec.postedAt, now)
+	rec.onWireAt = now
 	d.node.Network().DeliverArg(d.node, remote.dev.node, rec.wireBytes, wrAtResponder, rec)
 }
 
 // wrAtResponder runs when the request has fully arrived at the responder.
 func wrAtResponder(v any) {
 	rec := v.(*wrRecord)
+	d := rec.qp.dev
+	now := d.env.Now()
+	d.stWire.ObserveDur(now - rec.onWireAt)
+	d.o.Tracer().Emit(d.node.Track(), "wr.wire", rec.wr.Op.String(), rec.onWireAt, now)
+	rec.arriveAt = now
 	rec.qp.execAtResponder(rec)
+}
+
+// obsRespDone records the responder-processing stage (arrival to response
+// emission, including any atomic-unit wait) and stamps doneAt; the *Done
+// callbacks call it just before putting the response or ack on the wire.
+func (rec *wrRecord) obsRespDone() {
+	d := rec.qp.dev
+	now := d.env.Now()
+	d.stRespNIC.ObserveDur(now - rec.arriveAt)
+	d.o.Tracer().Emit(rec.qp.remote.dev.node.Track(), "wr.resp_nic", rec.wr.Op.String(), rec.arriveAt, now)
+	rec.doneAt = now
+}
+
+// obsAcked records the return transit for signaled WRs. Read and atomic
+// responses carry data the requester is waiting for, so they land in the
+// on-critical-path stage/rdma_resp_wire; transport-level acks of Sends and
+// Writes complete nothing the application blocks on and go to the separate
+// stage/rdma_ack_wire, keeping latency-attribution tiling exact. Unsignaled
+// WRs' acks are not recorded at all (nothing polls for them).
+func (rec *wrRecord) obsAcked() {
+	if rec.wr.Unsignaled {
+		return
+	}
+	d := rec.qp.dev
+	now := d.env.Now()
+	switch rec.wr.Op {
+	case OpRead, OpCompSwap, OpFetchAdd:
+		d.stRespWire.ObserveDur(now - rec.doneAt)
+		d.o.Tracer().Emit(d.node.Track(), "wr.resp_wire", rec.wr.Op.String(), rec.doneAt, now)
+	default:
+		d.stAckWire.ObserveDur(now - rec.doneAt)
+		d.o.Tracer().Emit(d.node.Track(), "wr.ack_wire", rec.wr.Op.String(), rec.doneAt, now)
+	}
 }
 
 // execAtResponder runs in scheduler context at the time the request fully
@@ -758,6 +844,7 @@ func wrSendDone(v any) {
 	qp := rec.qp
 	remote := qp.remote
 	rdev := remote.dev
+	rec.obsRespDone()
 	copy(rec.rqe.Buf, rec.wr.Local)
 	remote.recvCQ.push(CQE{
 		QP: remote, WRID: rec.rqe.WRID, Op: OpRecv, Status: StatusOK,
@@ -773,6 +860,7 @@ func wrWriteDone(v any) {
 	qp := rec.qp
 	remote := qp.remote
 	rdev := remote.dev
+	rec.obsRespDone()
 	copy(rec.dst, rec.wr.Local)
 	if rec.hasRQE {
 		remote.recvCQ.push(CQE{
@@ -786,7 +874,9 @@ func wrWriteDone(v any) {
 // wrAcked completes an OpSend/OpWrite/OpWriteImm once the ack arrives back
 // at the requester.
 func wrAcked(v any) {
-	v.(*wrRecord).finish(CQE{Status: StatusOK})
+	rec := v.(*wrRecord)
+	rec.obsAcked()
+	rec.finish(CQE{Status: StatusOK})
 }
 
 // wrReadDone runs at the responder when it starts emitting the read
@@ -798,6 +888,7 @@ func wrReadDone(v any) {
 	rec := v.(*wrRecord)
 	qp := rec.qp
 	rdev := qp.remote.dev
+	rec.obsRespDone()
 	rec.data = rdev.node.Network().WireBufs().Get(rec.size)
 	copy(rec.data, rec.dst)
 	rdev.node.Network().DeliverArg(rdev.node, qp.dev.node, rec.size+rdev.costs.HeaderBytes, wrReadArrived, rec)
@@ -806,6 +897,7 @@ func wrReadDone(v any) {
 // wrReadArrived completes an OpRead once the response arrives.
 func wrReadArrived(v any) {
 	rec := v.(*wrRecord)
+	rec.obsAcked()
 	copy(rec.wr.Local, rec.data)
 	rec.qp.remote.dev.node.Network().WireBufs().Put(rec.data)
 	rec.finish(CQE{Status: StatusOK, ByteLen: rec.size})
@@ -825,12 +917,14 @@ func wrAtomicDone(v any) {
 		binary.LittleEndian.PutUint64(word, rec.wr.Swap)
 	}
 	rec.old = old
+	rec.obsRespDone()
 	rdev.node.Network().DeliverArg(rdev.node, qp.dev.node, rdev.costs.AckBytes+8, wrAtomicAcked, rec)
 }
 
 // wrAtomicAcked completes an atomic once the response arrives.
 func wrAtomicAcked(v any) {
 	rec := v.(*wrRecord)
+	rec.obsAcked()
 	if len(rec.wr.Local) >= 8 {
 		binary.LittleEndian.PutUint64(rec.wr.Local, rec.old)
 	}

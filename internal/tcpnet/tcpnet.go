@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"kafkadirect/internal/fabric"
+	"kafkadirect/internal/obs"
 	"kafkadirect/internal/sim"
 )
 
@@ -72,6 +73,19 @@ var (
 type Stack struct {
 	net *fabric.Network
 	cfg Config
+
+	// Telemetry handles, cached from the fabric's obs bundle at
+	// construction (all nil when telemetry is disabled). The stage
+	// histograms tile a message's path through the stack: the send-side
+	// kernel cost, wire + delivery latency, socket-buffer wait, and the
+	// receive-side kernel cost (DESIGN.md §10).
+	o          *obs.Obs
+	stSend     *obs.Histogram // stage/tcp_send: syscall + user→kernel copy
+	stWire     *obs.Histogram // stage/tcp_wire: wire time + delivery latency
+	stSockWait *obs.Histogram // stage/tcp_sock_wait: inbox residency until pop
+	stRecv     *obs.Histogram // stage/tcp_recv: recv dispatch + kernel→user copy
+	obsMsgs    *obs.Counter   // tcp/msgs: framed messages sent
+	obsCopied  *obs.Counter   // tcp/kernel_copy_bytes: modeled kernel copies
 }
 
 // NewStack creates a stack over the given fabric.
@@ -79,7 +93,18 @@ func NewStack(net *fabric.Network, cfg Config) *Stack {
 	if cfg.CopyBandwidth <= 0 {
 		panic("tcpnet: copy bandwidth must be positive")
 	}
-	return &Stack{net: net, cfg: cfg}
+	o := net.Obs()
+	return &Stack{
+		net:        net,
+		cfg:        cfg,
+		o:          o,
+		stSend:     o.Histogram("stage/tcp_send"),
+		stWire:     o.Histogram("stage/tcp_wire"),
+		stSockWait: o.Histogram("stage/tcp_sock_wait"),
+		stRecv:     o.Histogram("stage/tcp_recv"),
+		obsMsgs:    o.Counter("tcp/msgs"),
+		obsCopied:  o.Counter("tcp/kernel_copy_bytes"),
+	}
 }
 
 // Config returns the stack configuration.
@@ -137,6 +162,11 @@ type Conn struct {
 type message struct {
 	data   []byte
 	closed bool
+	// Telemetry stamps (simulated time; unused when telemetry is off):
+	// sentAt is when the message left the sender's kernel, arrivedAt when
+	// it was pushed into the receiver's socket buffer.
+	sentAt    time.Duration
+	arrivedAt time.Duration
 }
 
 // Dial establishes a connection to a listener, costing one handshake round
@@ -201,13 +231,22 @@ func (c *Conn) Send(p *sim.Proc, data []byte) error {
 		return ErrClosed
 	}
 	s := c.host.stack
+	start := p.Now()
 	p.Sleep(s.cfg.SendOverhead + s.copyTime(len(data)))
+	sentAt := p.Now()
+	s.stSend.ObserveDur(sentAt - start)
+	s.o.Tracer().Emit(c.host.node.Track(), "tcp.send", "tcp", start, sentAt)
 	kernelCopy := s.net.WireBufs().Get(len(data))
 	copy(kernelCopy, data)
+	s.obsMsgs.Inc()
+	s.obsCopied.Add(uint64(len(data)))
 	peer := c.peer
 	s.net.Deliver(c.host.node, peer.host.node, len(data)+s.cfg.HeaderBytes, func() {
 		s.net.Env().After(s.cfg.DeliveryLatency, func() {
-			peer.inbox.Push(message{data: kernelCopy})
+			now := s.net.Env().Now()
+			s.stWire.ObserveDur(now - sentAt)
+			s.o.Tracer().Emit(peer.host.node.Track(), "tcp.wire", "tcp", sentAt, now)
+			peer.inbox.Push(message{data: kernelCopy, sentAt: sentAt, arrivedAt: now})
 		})
 	})
 	return nil
@@ -244,7 +283,12 @@ func (c *Conn) recv(p *sim.Proc, d time.Duration) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	s := c.host.stack
+	popNow := p.Now()
+	s.stSockWait.ObserveDur(popNow - m.arrivedAt)
 	p.Sleep(s.cfg.RecvOverhead + s.copyTime(len(m.data)))
+	end := p.Now()
+	s.stRecv.ObserveDur(end - popNow)
+	s.o.Tracer().Emit(c.host.node.Track(), "tcp.recv", "tcp", popNow, end)
 	return m.data, nil
 }
 
@@ -261,6 +305,7 @@ func (c *Conn) RecvRaw(p *sim.Proc) ([]byte, error) {
 		c.inbox.Push(m)
 		return nil, ErrClosed
 	}
+	c.host.stack.stSockWait.ObserveDur(p.Now() - m.arrivedAt)
 	return m.data, nil
 }
 
@@ -274,12 +319,18 @@ func (c *Conn) SendRaw(data []byte) error {
 		return ErrClosed
 	}
 	s := c.host.stack
+	sentAt := s.net.Env().Now()
 	kernelCopy := s.net.WireBufs().Get(len(data))
 	copy(kernelCopy, data)
+	s.obsMsgs.Inc()
+	s.obsCopied.Add(uint64(len(data)))
 	peer := c.peer
 	s.net.Deliver(c.host.node, peer.host.node, len(data)+s.cfg.HeaderBytes, func() {
 		s.net.Env().After(s.cfg.DeliveryLatency, func() {
-			peer.inbox.Push(message{data: kernelCopy})
+			now := s.net.Env().Now()
+			s.stWire.ObserveDur(now - sentAt)
+			s.o.Tracer().Emit(peer.host.node.Track(), "tcp.wire", "tcp", sentAt, now)
+			peer.inbox.Push(message{data: kernelCopy, sentAt: sentAt, arrivedAt: now})
 		})
 	})
 	return nil
@@ -316,6 +367,8 @@ func (c *Conn) TryRecv() ([]byte, bool, error) {
 		c.inbox.Push(m)
 		return nil, false, ErrClosed
 	}
+	s := c.host.stack
+	s.stSockWait.ObserveDur(s.net.Env().Now() - m.arrivedAt)
 	return m.data, true, nil
 }
 

@@ -41,4 +41,12 @@ go test -race ./...
 echo "== go test -bench (1 iteration, compile + smoke) =="
 go test -run=NONE -bench=. -benchtime=1x ./...
 
+# The committed full run (results_all.txt) must cover exactly the registered
+# experiments, in registry order — a figure added to the bench registry but
+# never regenerated into results_all.txt (or vice versa) is drift.
+echo "== figure-table drift (results_all.txt vs kdbench registry) =="
+diff <(go run ./cmd/kdbench -list | awk '{print $1}') \
+     <(sed -n 's/^# \([^:]*\):.*/\1/p' results_all.txt) \
+    || { echo "results_all.txt is out of sync with the experiment registry; regenerate with: go run ./cmd/kdbench -fig all > results_all.txt" >&2; exit 1; }
+
 echo "all checks passed"
