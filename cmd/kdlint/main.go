@@ -1,16 +1,24 @@
 // Command kdlint runs the repo's invariant analyzers (internal/analysis)
-// over Go packages: simclock, maporder, poolalias, errdrop. It is the
-// static half of the determinism story — the dynamic half being the
-// workers=1-vs-8 byte-identical figure suite.
+// over Go packages: simclock, maporder, poolalias, errdrop, shardstate,
+// crossnode, hotalloc, obssafe. It is the static half of the determinism
+// story — the dynamic half being the workers=1-vs-8 byte-identical figure
+// suite.
 //
 // Usage:
 //
-//	kdlint [-only name[,name]] [-list] [packages]
+//	kdlint [-only name[,name]] [-list] [-json] [-sarif file]
+//	       [-audit] [-budget file] [packages]
 //
-// With no packages, ./... is checked. Exit status: 0 clean, 1 findings,
-// 2 load or typecheck failure. Findings can be suppressed, with a mandatory
-// justification, by `//kdlint:allow <analyzer> <reason>` on the offending
-// line or the line above.
+// With no packages, ./... is checked. Exit status: 0 clean, 1 findings (or
+// audit failures), 2 load or typecheck failure — including a matched
+// package the loader cannot analyze (no Go files), which is named in the
+// error. Findings can be suppressed, with a mandatory justification, by
+// `//kdlint:allow <analyzer> <reason>` on the offending line or the line
+// above; `-audit` inventories every such directive, fails on stale
+// suppressions and thin justifications, and checks the per-analyzer totals
+// against the committed budget file (-budget), so suppressions only shrink.
+// `-json` prints findings as a JSON array; `-sarif file` additionally
+// writes a SARIF 2.1.0 log for code-scanning upload.
 //
 // kdlint is self-contained (standard library only), so it needs no module
 // downloads: `go run ./cmd/kdlint ./...` works in a fresh checkout with no
@@ -18,9 +26,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"kafkadirect/internal/analysis"
@@ -30,6 +40,10 @@ func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array")
+	sarifOut := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	audit := flag.Bool("audit", false, "audit //kdlint:allow suppressions (stale, thin, budget) in addition to findings")
+	budgetFile := flag.String("budget", "", "suppression budget file for -audit (analyzer count per line)")
 	flag.Parse()
 
 	all := analysis.All()
@@ -42,6 +56,10 @@ func main() {
 
 	analyzers := all
 	if *only != "" {
+		if *audit {
+			fmt.Fprintln(os.Stderr, "kdlint: -audit needs the full suite; drop -only")
+			os.Exit(2)
+		}
 		byName := make(map[string]*analysis.Analyzer)
 		for _, a := range all {
 			byName[a.Name] = a
@@ -62,7 +80,7 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	pkgs, err := analysis.Load(*dir, patterns...)
+	prog, err := analysis.LoadProgram(*dir, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kdlint: %v\n", err)
 		os.Exit(2)
@@ -70,7 +88,7 @@ func main() {
 	// A finding is only trustworthy if its package typechecked: surface
 	// type errors as hard failures rather than analyzing partial ASTs.
 	badTypes := false
-	for _, p := range pkgs {
+	for _, p := range prog.Packages {
 		for _, te := range p.TypeErrors {
 			fmt.Fprintf(os.Stderr, "kdlint: typecheck %s: %v\n", p.PkgPath, te)
 			badTypes = true
@@ -80,12 +98,85 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d.String())
+	res := analysis.RunDetail(prog, analyzers)
+	diags := res.Diags
+
+	if *jsonOut {
+		type finding struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{d.Analyzer, d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "kdlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "kdlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	if *sarifOut != "" {
+		root, err := filepath.Abs(*dir)
+		if err != nil {
+			root = *dir
+		}
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kdlint: %v\n", err)
+			os.Exit(2)
+		}
+		if err := analysis.WriteSARIF(f, diags, analyzers, root); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kdlint: writing %s: %v\n", *sarifOut, err)
+			os.Exit(2)
+		}
+	}
+
+	failed := len(diags) > 0
+	if failed {
+		fmt.Fprintf(os.Stderr, "kdlint: %d finding(s) in %d package(s)\n", len(diags), len(prog.Packages))
+	}
+
+	if *audit {
+		rep := analysis.Audit(res)
+		failures := rep.Failures()
+		if *budgetFile != "" {
+			data, err := os.ReadFile(*budgetFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kdlint: %v\n", err)
+				os.Exit(2)
+			}
+			budget, err := analysis.ParseBudget(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kdlint: %s: %v\n", *budgetFile, err)
+				os.Exit(2)
+			}
+			failures = append(failures, rep.CheckBudget(budget)...)
+		}
+		fmt.Print(rep.Table())
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "kdlint: %s\n", f)
+		}
+		if len(failures) > 0 {
+			failed = true
+		}
+	}
+
+	if failed {
 		os.Exit(1)
 	}
 }

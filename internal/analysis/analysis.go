@@ -1,12 +1,21 @@
 // Package analysis is kdlint: a small, dependency-free static-analysis
-// framework plus the five repo-specific analyzers that enforce the
-// simulator's core invariants (see DESIGN.md §9):
+// framework plus the repo-specific analyzers that enforce the simulator's
+// core invariants (see DESIGN.md §9):
 //
 //	simclock   — no wall clock or unseeded randomness in simulated code
 //	maporder   — no order-sensitive work driven by unsorted map iteration
 //	poolalias  — no aliasing of pooled wire buffers past their recycle call
 //	errdrop    — no silently discarded transport/replication errors
 //	shardstate — no shared mutable state or unjustified cross-shard access
+//	crossnode  — no reaching into another node's state outside delivery
+//	hotalloc   — //kdlint:hotpath functions must be provably alloc-free
+//	obssafe    — obs instruments are cached in fields at construction
+//
+// The v2 analyzers (crossnode, hotalloc, obssafe) share the dataflow layer
+// in dataflow.go: def-use chains, branch-aware reachability, and the
+// cross-package fact store fed by //kdlint:delivery and //kdlint:hotpath
+// directives. `kdlint -audit` additionally audits every //kdlint:allow
+// suppression for staleness and justification quality (audit.go).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) so the analyzers would port to a standard
@@ -34,13 +43,16 @@ type Analyzer struct {
 
 // All returns the full kdlint analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SimClock, MapOrder, PoolAlias, ErrDrop, ShardState}
+	return []*Analyzer{SimClock, MapOrder, PoolAlias, ErrDrop, ShardState, CrossNode, HotAlloc, ObsSafe}
 }
 
 // A Pass is one analyzer's view of one package.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Facts holds the run-wide directive and derived facts (delivery entry
+	// points, hotpath annotations) collected before any analyzer ran.
+	Facts *FactSet
 
 	diags *[]Diagnostic
 }
@@ -145,27 +157,57 @@ func (a allowDirective) covers(d Diagnostic) bool {
 // Runner
 // ---------------------------------------------------------------------------
 
+// An AllowInfo is one //kdlint:allow directive together with how it fared
+// during the run: how many raw findings it suppressed. Zero with its
+// analyzer among those run means the suppression is stale.
+type AllowInfo struct {
+	Analyzer   string
+	Reason     string
+	Pos        token.Position
+	Suppressed int
+}
+
+// A RunResult carries everything a driver can want from one run: the
+// surviving findings, the full allow-directive inventory with suppression
+// counts (for -audit), and the collected fact set.
+type RunResult struct {
+	Diags  []Diagnostic
+	Allows []AllowInfo
+	Facts  *FactSet
+}
+
 // Run applies every analyzer to every package, filters findings through
 // //kdlint:allow directives, and returns the survivors sorted by position.
 // Malformed directives (no justification, unknown analyzer name) are
 // reported as kdlint findings themselves.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunDetail(&Program{Packages: pkgs}, analyzers).Diags
+}
+
+// RunDetail is Run with the books kept open: it returns the surviving
+// findings plus the allow inventory the suppression audit consumes.
+func RunDetail(prog *Program, analyzers []*Analyzer) *RunResult {
 	known := make(map[string]bool)
 	for _, a := range All() {
 		known[a.Name] = true
 	}
+	facts := collectFacts(prog.Packages, prog.DepFacts)
+	res := &RunResult{Facts: facts}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	diags = append(diags, facts.hygiene...)
+	for _, pkg := range prog.Packages {
 		var raw []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, diags: &raw}
 			a.Run(pass)
 		}
 		allows := collectAllows(pkg)
+		counts := make([]int, len(allows))
 		for _, d := range raw {
 			suppressed := false
-			for _, a := range allows {
+			for i, a := range allows {
 				if a.covers(d) && a.reason != "" {
+					counts[i]++
 					suppressed = true
 					break
 				}
@@ -174,7 +216,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				diags = append(diags, d)
 			}
 		}
-		for _, a := range allows {
+		for i, a := range allows {
+			res.Allows = append(res.Allows, AllowInfo{
+				Analyzer:   a.analyzer,
+				Reason:     a.reason,
+				Pos:        a.pos,
+				Suppressed: counts[i],
+			})
 			if a.reason == "" {
 				diags = append(diags, Diagnostic{
 					Analyzer: "kdlint",
@@ -190,20 +238,33 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
+	sortDiags(diags)
+	sort.Slice(res.Allows, func(i, j int) bool { return posLess(res.Allows[i].Pos, res.Allows[j].Pos) })
+	res.Diags = diags
+	return res
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
+		if !posEqual(diags[i].Pos, diags[j].Pos) {
+			return posLess(diags[i].Pos, diags[j].Pos)
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func posEqual(a, b token.Position) bool {
+	return a.Filename == b.Filename && a.Line == b.Line && a.Column == b.Column
 }
 
 // isTestFile reports whether the file containing pos is a _test.go file.

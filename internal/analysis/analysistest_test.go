@@ -120,6 +120,18 @@ func TestShardStateFixture(t *testing.T) {
 	checkFixture(t, ShardState, "stream")
 }
 
+func TestCrossNodeFixture(t *testing.T) {
+	checkFixture(t, CrossNode, "tcpnet")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	checkFixture(t, HotAlloc, "kwire")
+}
+
+func TestObsSafeFixture(t *testing.T) {
+	checkFixture(t, ObsSafe, "client")
+}
+
 // TestGroupPackageIsKdlintClean pins the consumer-group coordinator into the
 // lint gate directly. internal/group runs under the simulated clock and its
 // error returns carry the fencing signals (ILLEGAL_GENERATION et al.), so it

@@ -1,0 +1,149 @@
+package analysis
+
+// The suppression audit keeps //kdlint:allow honest: every directive must
+// still be earning its keep (suppressing at least one live finding), must
+// carry a real justification (the why-format: a sentence, not a shrug), and
+// the per-analyzer totals may only shrink against the committed budget
+// (scripts/kdlint_budget.txt). `kdlint -audit` drives it; check.sh and CI
+// gate on it.
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// minJustificationWords is the why-format floor: a justification must say
+// why the invariant is safe to waive here, which takes a clause, not a tag.
+const minJustificationWords = 4
+
+// An AuditEntry is one //kdlint:allow directive and its verdict.
+type AuditEntry struct {
+	AllowInfo
+	Stale bool // suppressed nothing: the finding it excused no longer fires
+	Thin  bool // justification below the mandatory why-format
+}
+
+// An AuditReport is the full suppression inventory for one run.
+type AuditReport struct {
+	Entries []AuditEntry
+	// PerAnalyzer counts directives per analyzer name, including analyzers
+	// with zero directives that appear in the run (for the budget table).
+	PerAnalyzer map[string]int
+}
+
+// Audit inventories the run's allow directives. The run must have been made
+// with every analyzer (All()): staleness is only meaningful when the
+// directive's analyzer actually ran.
+func Audit(res *RunResult) *AuditReport {
+	rep := &AuditReport{PerAnalyzer: make(map[string]int)}
+	for _, a := range All() {
+		rep.PerAnalyzer[a.Name] = 0
+	}
+	for _, ai := range res.Allows {
+		e := AuditEntry{AllowInfo: ai}
+		if _, known := rep.PerAnalyzer[ai.Analyzer]; known {
+			e.Stale = ai.Suppressed == 0
+		}
+		e.Thin = len(strings.Fields(ai.Reason)) < minJustificationWords
+		rep.Entries = append(rep.Entries, e)
+		rep.PerAnalyzer[ai.Analyzer]++
+	}
+	return rep
+}
+
+// Failures returns one line per audit violation: stale suppressions and
+// thin justifications. Empty means the audit passes.
+func (r *AuditReport) Failures() []string {
+	var out []string
+	for _, e := range r.Entries {
+		if e.Stale {
+			out = append(out, fmt.Sprintf("%s: stale //kdlint:allow %s — no %s finding fires here anymore; delete the directive", e.Pos, e.Analyzer, e.Analyzer))
+		}
+		if e.Thin {
+			out = append(out, fmt.Sprintf("%s: //kdlint:allow %s justification %q is below the why-format (>= %d words saying why the invariant holds anyway)", e.Pos, e.Analyzer, e.Reason, minJustificationWords))
+		}
+	}
+	return out
+}
+
+// Table renders the per-analyzer budget table.
+func (r *AuditReport) Table() string {
+	names := make([]string, 0, len(r.PerAnalyzer))
+	for name := range r.PerAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	stale := make(map[string]int)
+	thin := make(map[string]int)
+	for _, e := range r.Entries {
+		if e.Stale {
+			stale[e.Analyzer]++
+		}
+		if e.Thin {
+			thin[e.Analyzer]++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %7s %6s %5s\n", "analyzer", "allows", "stale", "thin")
+	total := 0
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-12s %7d %6d %5d\n", name, r.PerAnalyzer[name], stale[name], thin[name])
+		total += r.PerAnalyzer[name]
+	}
+	fmt.Fprintf(&b, "%-12s %7d\n", "total", total)
+	return b.String()
+}
+
+// ParseBudget reads the committed suppression-budget file: one
+// "analyzer count" pair per line, #-comments and blank lines ignored.
+func ParseBudget(data []byte) (map[string]int, error) {
+	budget := make(map[string]int)
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("budget line %d: want \"analyzer count\", got %q", line, text)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("budget line %d: bad count %q", line, fields[1])
+		}
+		budget[fields[0]] = n
+	}
+	return budget, sc.Err()
+}
+
+// CheckBudget compares the audit against the committed budget: suppressions
+// are a ratchet and may only shrink. Every violation (count above budget, or
+// an analyzer with suppressions but no budget line) yields one line.
+func (r *AuditReport) CheckBudget(budget map[string]int) []string {
+	var out []string
+	names := make([]string, 0, len(r.PerAnalyzer))
+	for name := range r.PerAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		have := r.PerAnalyzer[name]
+		allowed, ok := budget[name]
+		if !ok {
+			if have > 0 {
+				out = append(out, fmt.Sprintf("suppression budget: %s has %d //kdlint:allow directive(s) but no budget line; add one at the current count", name, have))
+			}
+			continue
+		}
+		if have > allowed {
+			out = append(out, fmt.Sprintf("suppression budget: %s has %d //kdlint:allow directive(s), budget is %d — fix the findings instead of suppressing them", name, have, allowed))
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CrossNode is the executable spec for the handoff-safety contract
+// (ROADMAP item 4, DESIGN.md §9): in the transport and broker layers, one
+// node's code must not reach into another node's state directly — all
+// cross-node effects flow through fabric delivery (Network.Deliver/
+// DeliverArg, ShardedNet delivery), which charges wire time and, on the
+// sharded kernel, routes the access onto the owning shard.
+//
+// The analyzer keys on "remote link" fields: a self-referential pointer
+// field named peer or remote (tcpnet.Conn.peer, rdma.QP.remote) is the one
+// doorway from a local endpoint object to its remote counterpart.
+// Dereferencing through that doorway — reading a field, calling a method,
+// or doing either through a local alias of it — is a finding unless the
+// access is sanctioned:
+//
+//   - the enclosing function carries a delivery fact: a //kdlint:delivery
+//     directive, or it is (transitively) passed as a callback to a delivery
+//     entry point, so its body executes at the destination node;
+//   - the access sits inside a function literal passed to a delivery entry
+//     point (the classic Deliver(from, to, size, func() { ... }) shape);
+//   - the dereference chain ends at a fabric node handle (*fabric.Node /
+//     *fabric.SNode): extracting the peer's node is addressing metadata,
+//     needed precisely to call Deliver with a destination.
+//
+// Reading the link pointer itself (nil checks, comparisons, establishing
+// the link, passing the pointer along) is not a finding: the pointer value
+// is connection metadata; only state behind it is remote.
+var CrossNode = &Analyzer{
+	Name: "crossnode",
+	Doc:  "forbid touching another node's state outside fabric delivery",
+	Run:  runCrossNode,
+}
+
+// crossNodePackages names the layers the handoff-safety contract covers.
+var crossNodePackages = map[string]bool{
+	"tcpnet": true,
+	"rdma":   true,
+	"core":   true,
+	"group":  true,
+}
+
+// linkFieldNames: a self-referential pointer field with one of these names
+// is the remote-endpoint doorway.
+var linkFieldNames = map[string]bool{"peer": true, "remote": true}
+
+// nodeTypeNames: dereference chains ending in a pointer to one of these
+// named types are addressing metadata, not remote state.
+var nodeTypeNames = map[string]bool{"Node": true, "SNode": true}
+
+func runCrossNode(pass *Pass) {
+	if !crossNodePackages[pkgBase(pass.Pkg.PkgPath)] {
+		return
+	}
+	links := linkFields(pass.Pkg.Types)
+	if len(links) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f.Pos()) {
+			// Tests routinely peek at both endpoints to assert symmetry;
+			// the contract binds production code.
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Facts.has(factDelivery, declKey(pass.Pkg.PkgPath, fd)) {
+				continue // executes at the destination node by construction
+			}
+			checkCrossNode(pass, fd, links)
+		}
+	}
+}
+
+// linkFields finds every self-referential remote-link field declared in the
+// package: field peer/remote of type *T inside struct T.
+func linkFields(pkg *types.Package) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	if pkg == nil {
+		return out
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !linkFieldNames[f.Name()] {
+				continue
+			}
+			ptr, ok := f.Type().(*types.Pointer)
+			if !ok {
+				continue
+			}
+			if elem, ok := ptr.Elem().(*types.Named); ok && elem.Obj() == tn {
+				out[f] = true
+			}
+		}
+	}
+	return out
+}
+
+func checkCrossNode(pass *Pass, fd *ast.FuncDecl, links map[*types.Var]bool) {
+	info := pass.Pkg.Info
+	flow := newFuncFlow(info, fd.Body)
+
+	// Function literals passed to delivery entry points execute at the
+	// destination; everything inside them is sanctioned.
+	var sanctioned []interval
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !pass.Facts.HasFunc(factDelivery, calleeFunc(info, call)) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				sanctioned = append(sanctioned, interval{lit.Pos() - 1, lit.End()})
+			}
+		}
+		return true
+	})
+	inSanctioned := func(n ast.Node) bool { return inIntervals(sanctioned, n.Pos()) }
+
+	// isLinkSel: e (paren-stripped) selects a remote-link field.
+	isLinkSel := func(e ast.Expr) (*ast.SelectorExpr, *types.Var) {
+		e = stripParens(e)
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil
+		}
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok && links[v] {
+				return sel, v
+			}
+		}
+		return nil, nil
+	}
+
+	// addressingOnly: the outermost access rooted at e lands on a fabric
+	// node handle — the caller only extracted a delivery address.
+	addressingOnly := func(top ast.Expr) bool {
+		tv, ok := info.Types[top]
+		if !ok {
+			return false
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return nodeTypeNames[n.Obj().Name()]
+		}
+		return false
+	}
+
+	// Pass 1: direct dereferences through a link field.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		sel, v := isLinkSel(e)
+		if v == nil {
+			return true
+		}
+		return crossNodeDirect(pass, flow, sel, inSanctioned, addressingOnly)
+	})
+
+	// Pass 2: local aliases of the remote endpoint (peer := c.peer, or
+	// ranging over a literal that includes the link), then dereferenced.
+	for obj, defs := range flow.defs {
+		if !flow.definedInBody(obj) {
+			continue
+		}
+		var aliasDef *flowDef
+		for i, d := range defs {
+			if d.rhs == nil {
+				continue
+			}
+			if _, v := isLinkSel(d.rhs); v != nil && d.rng == nil {
+				aliasDef = &defs[i]
+				break
+			}
+			if d.rng != nil {
+				if lit, ok := stripParens(d.rhs).(*ast.CompositeLit); ok {
+					for _, el := range lit.Elts {
+						if _, v := isLinkSel(el); v != nil {
+							aliasDef = &defs[i]
+							break
+						}
+					}
+				}
+			}
+			if aliasDef != nil {
+				break
+			}
+		}
+		if aliasDef == nil {
+			continue
+		}
+		derefs := 0
+		for _, use := range flow.uses[obj] {
+			if inSanctioned(use) {
+				continue
+			}
+			top := flow.chainTop(use)
+			if top == ast.Expr(use) || addressingOnly(top) {
+				continue
+			}
+			derefs++
+		}
+		if derefs > 0 {
+			pass.Reportf(aliasDef.id.Pos(),
+				"%s aliases the remote endpoint through %q and is dereferenced %d time(s); another node's state must be reached through fabric delivery (crossnode contract, DESIGN.md §9)",
+				obj.Name(), exprString(aliasDef.rhs), derefs)
+		}
+	}
+}
+
+// crossNodeDirect handles one candidate node in pass 1. Returning true
+// continues the walk.
+func crossNodeDirect(pass *Pass, flow *funcFlow, sel *ast.SelectorExpr, inSanctioned func(ast.Node) bool, addressingOnly func(ast.Expr) bool) bool {
+	if inSanctioned(sel) {
+		return true
+	}
+	top := flow.chainTop(sel)
+	if top == ast.Expr(sel) {
+		// The link pointer itself: nil check, comparison, establishment,
+		// or passing the handle along. Not remote state.
+		return true
+	}
+	if addressingOnly(top) {
+		return true
+	}
+	pass.Reportf(sel.Pos(),
+		"dereference of %s reaches across the node boundary; another node's state must be accessed through fabric delivery or a //kdlint:delivery entry point (crossnode contract, DESIGN.md §9)",
+		exprString(top))
+	return true
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

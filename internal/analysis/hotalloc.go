@@ -1,0 +1,561 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc proves the steady-state datapaths allocation-free at lint time.
+// The runtime half of that contract already exists — the alloc-pin tests
+// (kwire round trips, obs instrument updates, the sharded deliver loop)
+// assert 0 allocs/op — but a test only pins the inputs it runs. A function
+// annotated //kdlint:hotpath must hold up statically:
+//
+//   - no make/new, no slice or map literals, no &composite escaping;
+//   - no append onto a function-local slice (append onto caller-owned
+//     storage — a parameter, receiver field, or package buffer — is the
+//     warm-capacity idiom the pools rely on and is allowed);
+//   - no interface boxing (pointer-shaped values and small integer
+//     constants are boxed for free and allowed);
+//   - no string concatenation or string<->[]byte conversion, except the
+//     change-guard idiom (compare first, convert only when different) and
+//     comparisons themselves, which the compiler performs without copying;
+//   - no capturing closures, no go statements;
+//   - every static call goes to another //kdlint:hotpath function, an
+//     allowed standard-library routine, or sits on a cold branch.
+//
+// Branch-awareness: a strictly-nested branch that terminates by returning
+// a non-nil error or panicking is a cold (failure) path; allocations there
+// are reported nowhere — errors may be built expensively. Growth guards
+// (`if cap(buf) < n { buf = make(...) }`, `if len(pool) == 0 { return
+// &record{} }`) are the pool-warming idiom and exempt the guarded make or
+// addressed composite literal.
+//
+// Dynamic calls (interface methods, func values) are not followed — that
+// is the documented precision limit, and exactly what the runtime alloc
+// pins backstop.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "prove //kdlint:hotpath functions allocation-free",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Facts.has(factHotpath, declKey(pass.Pkg.PkgPath, fd)) {
+				checkHotAlloc(pass, fd)
+			}
+		}
+	}
+}
+
+// hotDenyPkgs: every function in these packages allocates (or may).
+var hotDenyPkgs = map[string]bool{"fmt": true}
+
+// hotDenyFuncs: specific standard-library allocators, keyed like funcKey.
+var hotDenyFuncs = map[string]bool{
+	"errors.New":          true,
+	"strconv.Itoa":        true,
+	"strconv.FormatInt":   true,
+	"strconv.FormatUint":  true,
+	"strconv.FormatFloat": true,
+	"strconv.Quote":       true,
+	"strings.Join":        true,
+	"strings.Repeat":      true,
+	"strings.Replace":     true,
+	"strings.ReplaceAll":  true,
+	"strings.ToUpper":     true,
+	"strings.ToLower":     true,
+	"strings.Split":       true,
+	"bytes.Join":          true,
+	"bytes.Repeat":        true,
+	"bytes.Split":         true,
+	"sort.Slice":          true,
+	"sort.SliceStable":    true,
+	"sort.Strings":        true,
+}
+
+// hotDenyRecvPrefixes: methods on these types accumulate into growing
+// internal buffers.
+var hotDenyRecvPrefixes = []string{"strings.Builder.", "bytes.Buffer."}
+
+func checkHotAlloc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	body := fd.Body
+	flow := newFuncFlow(info, body)
+
+	// reported composite-literal spans, so a flagged slice literal does not
+	// also flag each of its element literals.
+	var reportedLits []interval
+	report := func(n ast.Node, format string, args ...any) {
+		pass.Reportf(n.Pos(), "%s is //kdlint:hotpath: "+format, append([]any{fd.Name.Name}, args...)...)
+	}
+
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+	// cold reports whether n sits inside a strictly-nested branch that
+	// terminates by returning an error or panicking — the failure path,
+	// where allocation is acceptable.
+	cold := func(n ast.Node) bool {
+		chain := ancestorChain(body, n)
+		for i := len(chain) - 1; i >= 0; i-- {
+			var list []ast.Stmt
+			switch b := chain[i].(type) {
+			case *ast.BlockStmt:
+				if b == body {
+					continue
+				}
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				continue
+			}
+			if len(list) == 0 {
+				continue
+			}
+			switch last := list[len(list)-1].(type) {
+			case *ast.ReturnStmt:
+				for _, r := range last.Results {
+					if id, ok := r.(*ast.Ident); ok && id.Name == "nil" {
+						continue
+					}
+					if tv, ok := info.Types[r]; ok && tv.Type != nil && types.Implements(tv.Type, errIface) {
+						return true
+					}
+				}
+			case *ast.ExprStmt:
+				if call, ok := last.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	// enclosingIfCond returns the condition of the nearest enclosing if.
+	enclosingIfCond := func(n ast.Node) ast.Expr {
+		chain := ancestorChain(body, n)
+		for i := len(chain) - 1; i >= 0; i-- {
+			if ifs, ok := chain[i].(*ast.IfStmt); ok {
+				return ifs.Cond
+			}
+		}
+		return nil
+	}
+
+	// growthGuarded: the nearest enclosing if condition consults cap or len
+	// — the warm-a-pool / grow-once idiom.
+	growthGuarded := func(n ast.Node) bool {
+		cond := enclosingIfCond(n)
+		if cond == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(cond, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// changeGuarded: the nearest enclosing if condition compares against a
+	// string conversion (`if *dst != string(b) { *dst = string(b) }`), so
+	// the guarded conversion only runs when the value actually changed.
+	changeGuarded := func(n ast.Node) bool {
+		cond := enclosingIfCond(n)
+		if cond == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(cond, func(c ast.Node) bool {
+			if be, ok := c.(*ast.BinaryExpr); ok && (be.Op == token.EQL || be.Op == token.NEQ) {
+				for _, op := range []ast.Expr{be.X, be.Y} {
+					if isStringConv(info, op) {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// boxes reports whether passing/assigning e into an interface slot
+	// allocates: concrete non-pointer-shaped, non-zero-size values do.
+	boxes := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil || tv.IsNil() {
+			return false
+		}
+		if tv.Value != nil {
+			// Integer constants 0..255 are served from the runtime's
+			// static boxes.
+			if v, exact := intConstValue(tv); exact && v >= 0 && v < 256 {
+				return false
+			}
+		}
+		switch t := tv.Type.Underlying().(type) {
+		case *types.Interface:
+			return false
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			return false
+		case *types.Basic:
+			if t.Kind() == types.UnsafePointer {
+				return false
+			}
+		case *types.Struct:
+			if t.NumFields() == 0 {
+				return false // zero-size
+			}
+		case *types.Array:
+			if t.Len() == 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			report(v, "spawns a goroutine on the hot path")
+
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if lit, ok := stripParens(v.X).(*ast.CompositeLit); ok && !cold(v) && !growthGuarded(v) {
+					report(v, "&%s escapes to the heap (addressed composite literal)", typeLabel(info, lit))
+					reportedLits = append(reportedLits, interval{lit.Pos() - 1, lit.End()})
+				}
+			}
+
+		case *ast.CompositeLit:
+			if inIntervals(reportedLits, v.Pos()) || cold(v) {
+				return true
+			}
+			if tv, ok := info.Types[v]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(v, "slice literal %s allocates its backing array", typeLabel(info, v))
+					reportedLits = append(reportedLits, interval{v.Pos() - 1, v.End()})
+				case *types.Map:
+					report(v, "map literal %s allocates", typeLabel(info, v))
+					reportedLits = append(reportedLits, interval{v.Pos() - 1, v.End()})
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && !cold(v) {
+				if tv, ok := info.Types[v]; ok && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 && tv.Value == nil {
+						report(v, "string concatenation allocates; append into a caller-owned buffer instead")
+					}
+				}
+			}
+
+		case *ast.FuncLit:
+			var captured *types.Var
+			ast.Inspect(v.Body, func(c ast.Node) bool {
+				if captured != nil {
+					return false
+				}
+				id, ok := c.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, ok := info.Uses[id].(*types.Var)
+				if !ok || obj.IsField() {
+					return true
+				}
+				if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+					return true // package-level: no capture
+				}
+				if obj.Pos() < v.Pos() || obj.Pos() > v.End() {
+					captured = obj
+				}
+				return true
+			})
+			if captured != nil && !cold(v) {
+				report(v, "closure captures %s and escapes; use the shared-callback + pooled-argument pattern (Env.AtArg)", captured.Name())
+			}
+
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				break
+			}
+			for i, lhs := range v.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				lt, ok := info.Types[lhs]
+				if !ok || lt.Type == nil {
+					continue
+				}
+				if _, isIface := lt.Type.Underlying().(*types.Interface); !isIface {
+					continue
+				}
+				if boxes(v.Rhs[i]) && !cold(v) {
+					report(v.Rhs[i], "%s is boxed into an interface on assignment", exprString(v.Rhs[i]))
+				}
+			}
+
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, flow, v, cold, growthGuarded, changeGuarded, boxes, report)
+		}
+		return true
+	})
+}
+
+// checkHotCall handles every CallExpr shape: builtins, conversions, static
+// callees, and interface-boxing of arguments.
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, flow *funcFlow, call *ast.CallExpr, cold func(ast.Node) bool, growthGuarded, changeGuarded func(ast.Node) bool, boxes func(ast.Expr) bool, report func(ast.Node, string, ...any)) {
+	info := pass.Pkg.Info
+
+	// Builtins.
+	if id, ok := stripParens(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				if !growthGuarded(call) && !cold(call) {
+					report(call, "make allocates; pre-size at construction or guard with a cap check (grow-once idiom)")
+				}
+			case "new":
+				if !cold(call) {
+					report(call, "new allocates; reuse a pooled record instead")
+				}
+			case "append":
+				if len(call.Args) > 0 && appendTargetIsLocal(info, flow, call.Args[0]) && !cold(call) {
+					report(call, "append onto function-local slice %s allocates its backing array; append into caller-owned storage", exprString(call.Args[0]))
+				}
+			}
+			return
+		}
+	}
+
+	// Conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		target := tv.Type
+		arg := call.Args[0]
+		if _, isIface := target.Underlying().(*types.Interface); isIface {
+			if boxes(arg) && !cold(call) {
+				report(call, "%s is boxed into an interface", exprString(arg))
+			}
+			return
+		}
+		if isStringByteConv(info, target, arg) && !cold(call) {
+			// A conversion used directly as a comparison operand is free:
+			// the compiler compares without materializing the copy.
+			if p, ok := flow.parentOf(call).(*ast.BinaryExpr); ok && (p.Op == token.EQL || p.Op == token.NEQ) {
+				return
+			}
+			if changeGuarded(call) {
+				return
+			}
+			report(call, "%s conversion copies; use the change-guard idiom or caller-owned buffers", typeString(target))
+		}
+		return
+	}
+
+	// Static callee discipline. Interface-method calls are dynamic dispatch
+	// and are not followed — a documented limit of the analyzer; the runtime
+	// AllocsPerRun pins are the backstop for what dispatch reaches.
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && !interfaceMethod(fn) {
+		key := funcKey(fn)
+		path := fn.Pkg().Path()
+		switch {
+		case strings.HasPrefix(path, "kafkadirect"):
+			if !pass.Facts.has(factHotpath, key) && !cold(call) {
+				report(call, "calls %s, which is not marked //kdlint:hotpath; annotate it (and make it pass) or move this call off the hot path", key)
+			}
+		default:
+			deny := hotDenyPkgs[path] || hotDenyFuncs[key]
+			for _, p := range hotDenyRecvPrefixes {
+				if strings.HasPrefix(key, p) {
+					deny = true
+				}
+			}
+			if deny && !cold(call) {
+				report(call, "calls %s, which allocates", key)
+			}
+		}
+	}
+
+	// Interface boxing of arguments (static and dynamic callees alike).
+	sigTV, ok := info.Types[call.Fun]
+	if !ok || sigTV.Type == nil {
+		return
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type()
+			if s, ok := pt.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if boxes(arg) && !cold(call) {
+			report(arg, "argument %s is boxed into an interface parameter", exprString(arg))
+		}
+	}
+}
+
+// appendTargetIsLocal reports whether the append target roots at a
+// function-local slice with no caller-derived source: appending to it can
+// only grow freshly allocated backing storage. Caller-owned roots — fields,
+// parameters, receivers, package variables, or locals seeded from one of
+// those — are the warm-capacity idiom and are fine.
+func appendTargetIsLocal(info *types.Info, flow *funcFlow, target ast.Expr) bool {
+	target = stripParens(target)
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		return false // selector/index roots are caller- or receiver-owned
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil || !flow.definedInBody(obj) {
+		return false // parameter, receiver, or package var
+	}
+	for _, d := range flow.sources(obj) {
+		if d.rhs == nil {
+			continue
+		}
+		switch rhs := stripParens(d.rhs).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr:
+			return false // seeded from caller-owned storage (w.buf[:0], ...)
+		case *ast.Ident:
+			if src := info.ObjectOf(rhs); src != nil && !flow.definedInBody(src) {
+				return false // seeded from a parameter
+			}
+		case *ast.CallExpr:
+			// append(x, ...) rebinding x keeps the same provenance; any
+			// other call result (pool Get, ...) counts as caller-owned.
+			if fnID, ok := stripParens(rhs.Fun).(*ast.Ident); !ok || fnID.Name != "append" {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isStringConv(info *types.Info, e ast.Expr) bool {
+	call, ok := stripParens(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringByteConv reports whether converting arg to target copies memory:
+// string <-> []byte/[]rune in either direction.
+func isStringByteConv(info *types.Info, target types.Type, arg ast.Expr) bool {
+	argTV, ok := info.Types[arg]
+	if !ok || argTV.Type == nil {
+		return false
+	}
+	toString := false
+	if b, ok := target.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		toString = true
+	}
+	fromString := false
+	if b, ok := argTV.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		fromString = true
+	}
+	sliceOfCharlike := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	if toString && sliceOfCharlike(argTV.Type) {
+		return true
+	}
+	if fromString && sliceOfCharlike(target) {
+		return true
+	}
+	return false
+}
+
+func intConstValue(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}
+
+func typeLabel(info *types.Info, lit *ast.CompositeLit) string {
+	if tv, ok := info.Types[lit]; ok && tv.Type != nil {
+		return typeString(tv.Type)
+	}
+	if lit.Type != nil {
+		return exprString(lit.Type)
+	}
+	return "composite literal"
+}
+
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// interfaceMethod reports whether fn is declared on an interface type, i.e.
+// a call through it is dynamic dispatch with no single static body to check.
+func interfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, ok = t.Underlying().(*types.Interface)
+	return ok
+}

@@ -57,6 +57,29 @@ type listedPackage struct {
 	DepOnly     bool
 	ForTest     string
 	Incomplete  bool
+	Error       *listedError
+}
+
+// listedError mirrors `go list -e`'s per-package error record.
+type listedError struct {
+	Err string
+}
+
+// A Program is one full load: the packages to analyze plus the directive
+// facts scanned from in-module dependencies that are not themselves being
+// analyzed (so a partial load still sees, say, fabric's //kdlint:delivery
+// entry points).
+type Program struct {
+	Packages []*Package
+	DepFacts []Fact
+}
+
+// depSource names the parsed-but-not-typechecked sources of an in-module
+// dependency, for directive scanning.
+type depSource struct {
+	importPath string
+	dir        string
+	goFiles    []string
 }
 
 // stripTestVariant turns "pkg [pkg.test]" into "pkg".
@@ -67,13 +90,26 @@ func stripTestVariant(importPath string) string {
 	return importPath
 }
 
-// Load lists patterns with the go tool (run in dir), then parses and
+// Load is LoadProgram without the dependency facts, for callers that only
+// need the analyzed packages.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	prog, err := LoadProgram(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Packages, nil
+}
+
+// LoadProgram lists patterns with the go tool (run in dir), then parses and
 // typechecks every matched package. Test variants are folded in: a package
 // with in-package test files is loaded once, with those files included.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+// A pattern that matches a broken package — no Go files, unparseable
+// metadata — is a hard error naming the package, not a silent skip: the
+// caller was asked to check it and cannot.
+func LoadProgram(dir string, patterns ...string) (*Program, error) {
 	args := append([]string{
 		"list", "-e", "-export", "-deps", "-test",
-		"-json=ImportPath,Dir,Name,Export,GoFiles,TestGoFiles,ImportMap,Standard,DepOnly,ForTest,Incomplete",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,TestGoFiles,ImportMap,Standard,DepOnly,ForTest,Incomplete,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -87,6 +123,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	exports := make(map[string]string) // import path -> export data file
 	importMaps := make(map[string]map[string]string)
 	var candidates []*listedPackage
+	var deps []depSource
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		p := new(listedPackage)
@@ -102,6 +139,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			importMaps[p.ImportPath] = p.ImportMap
 		}
 		if p.DepOnly || p.Standard {
+			// This repo vendors nothing, so every non-standard dependency
+			// is in-module and may carry directive facts.
+			if p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+				deps = append(deps, depSource{importPath: p.ImportPath, dir: p.Dir, goFiles: p.GoFiles})
+			}
 			continue
 		}
 		if strings.HasSuffix(p.ImportPath, ".test") {
@@ -110,6 +152,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		base := stripTestVariant(p.ImportPath)
 		if p.ForTest != "" && p.ForTest != base {
 			continue // external test package (foo_test); not analyzed
+		}
+		// `go list -e` reports matched-but-broken packages (a directory
+		// with no Go files, a malformed go file set) as error entries and
+		// keeps going. Those are packages the caller asked to check and we
+		// cannot, so they are load failures, not skips.
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, strings.TrimSpace(p.Error.Err))
 		}
 		candidates = append(candidates, p)
 	}
@@ -145,7 +194,20 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			pkgs = append(pkgs, pkg)
 		}
 	}
-	return pkgs, nil
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no Go packages matched %s", strings.Join(patterns, " "))
+	}
+	depFacts, err := scanDepFacts(deps)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Packages: pkgs, DepFacts: depFacts}, nil
+}
+
+// parseFileComments parses one file for declarations and comments only; the
+// result is never typechecked (dependency directive scanning).
+func parseFileComments(fset *token.FileSet, path string) (*ast.File, error) {
+	return parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 }
 
 func typecheck(fset *token.FileSet, imp *exportImporter, pkgPath string, lp *listedPackage) (*Package, error) {

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ObsSafe enforces the instrument-caching half of the zero-perturbation
+// telemetry contract (DESIGN.md §10, PR 7): an internal/obs instrument
+// (Counter, Gauge, Histogram, tracer Track) is fetched from its registry
+// exactly once, at construction, and cached in a struct field — the
+// nil-safe no-op pattern. Fetching on a hot path would hash the name per
+// event; worse, a miss would mint a new instrument mid-run and skew the
+// figures the simulation is reproducing.
+//
+// A fetch call is therefore only legal where construction caching happens:
+// as a composite-literal field value (track: o.Track(name)) or on the right
+// of an assignment whose target is a struct field or package variable
+// (n.obsMsgs = o.Counter(...)). Anything else — chaining a method off the
+// fetch, passing it straight into a call, binding it to a throwaway local —
+// is a finding.
+//
+// Obs.Tracer() is not a fetch: it is a plain field read, cheap by design,
+// and legitimately called on hot paths. The obs package itself is exempt:
+// it is the provider, and its plumbing (Obs.Counter forwarding to
+// Registry.Counter) is the thing being cached around. Tests are exempt:
+// they poke instruments ad hoc by design.
+var ObsSafe = &Analyzer{
+	Name: "obssafe",
+	Doc:  "require obs instruments to be cached in fields at construction",
+	Run:  runObsSafe,
+}
+
+// obsFetchMethods: methods of internal/obs types that fetch-or-create an
+// instrument by name.
+var obsFetchMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Track":     true,
+}
+
+func runObsSafe(pass *Pass) {
+	base := pkgBase(pass.Pkg.PkgPath)
+	if !isSimPackage(pass.Pkg.PkgPath) || base == "obs" {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			flow := newFuncFlow(info, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || pkgBase(fn.Pkg().Path()) != "obs" || !obsFetchMethods[fn.Name()] {
+					return true
+				}
+				if obsFetchCached(flow, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s.%s fetched outside construction caching; store the instrument in a struct field at construction and use the nil-safe handle on the hot path (DESIGN.md §10)",
+					fn.Pkg().Name(), fn.Name())
+				return true
+			})
+		}
+	}
+}
+
+// obsFetchCached reports whether the fetch call sits in a construction-
+// caching position: a composite-literal field value, or the right-hand side
+// of an assignment into a struct field or package variable.
+func obsFetchCached(flow *funcFlow, call *ast.CallExpr) bool {
+	p := flow.parentOf(call)
+	for {
+		if pe, ok := p.(*ast.ParenExpr); ok {
+			p = flow.parentOf(pe)
+			continue
+		}
+		break
+	}
+	switch parent := p.(type) {
+	case *ast.KeyValueExpr:
+		return parent.Value == ast.Expr(call)
+	case *ast.CompositeLit:
+		return true // positional field value
+	case *ast.AssignStmt:
+		for i, rhs := range parent.Rhs {
+			if stripParens(rhs) != ast.Expr(call) || i >= len(parent.Lhs) {
+				continue
+			}
+			return escapingStore(flow.info, parent.Lhs[i])
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package analysis
+
+// Minimal SARIF 2.1.0 emission, enough for GitHub code scanning to render
+// kdlint findings as PR annotations. Built by hand (like everything else in
+// this package) so the module keeps its zero-dependency property.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string           `json:"id"`
+	ShortDescription sarifMultiformat `json:"shortDescription"`
+}
+
+type sarifMultiformat struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string           `json:"ruleId"`
+	Level     string           `json:"level"`
+	Message   sarifMultiformat `json:"message"`
+	Locations []sarifLocation  `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the findings as a SARIF 2.1.0 log. File paths are made
+// relative to root (the repository checkout) so code-scanning can anchor
+// annotations; findings outside root keep their absolute path.
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer, root string) error {
+	driver := sarifDriver{Name: "kdlint"}
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{ID: a.Name, ShortDescription: sarifMultiformat{Text: a.Doc}})
+		seen[a.Name] = true
+	}
+	if !seen["kdlint"] {
+		driver.Rules = append(driver.Rules, sarifRule{ID: "kdlint", ShortDescription: sarifMultiformat{Text: "directive hygiene"}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = filepath.ToSlash(rel)
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMultiformat{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	})
+}

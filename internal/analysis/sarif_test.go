@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestWriteSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "simclock",
+			Pos:      token.Position{Filename: "/repo/internal/sim/sim.go", Line: 10, Column: 2},
+			Message:  "time.Now is wall clock",
+		},
+		{
+			Analyzer: "kdlint",
+			Pos:      token.Position{Filename: "/elsewhere/x.go", Line: 3, Column: 1},
+			Message:  "needs a justification",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, All(), "/repo"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("wrong version/schema: %q %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "kdlint" {
+		t.Errorf("driver name %q, want kdlint", run.Tool.Driver.Name)
+	}
+
+	rules := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, a := range All() {
+		if !rules[a.Name] {
+			t.Errorf("driver rules missing analyzer %s", a.Name)
+		}
+	}
+	if !rules["kdlint"] {
+		t.Error("driver rules missing the synthetic kdlint hygiene rule")
+	}
+
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "simclock" || first.Level != "error" {
+		t.Errorf("result 0: ruleId=%q level=%q", first.RuleID, first.Level)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/sim/sim.go" {
+		t.Errorf("in-root path not repo-relative: %q", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 10 || loc.Region.StartColumn != 2 {
+		t.Errorf("region %+v, want 10:2", loc.Region)
+	}
+	second := run.Results[1]
+	if second.Locations[0].PhysicalLocation.ArtifactLocation.URI != "/elsewhere/x.go" {
+		t.Errorf("out-of-root path rewritten: %q", second.Locations[0].PhysicalLocation.ArtifactLocation.URI)
+	}
+}
+
+// TestWriteSARIFEmpty pins that a clean run emits results: [] (not null) —
+// GitHub code scanning rejects a null results array.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, All(), ""); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Error("empty run must serialize results as [], not null")
+	}
+}

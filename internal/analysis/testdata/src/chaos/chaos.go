@@ -1,0 +1,25 @@
+// Package chaos is an audit fixture: one live suppression with a full
+// justification, one stale directive that no longer suppresses anything,
+// and one live directive whose justification is below the why-format.
+package chaos
+
+import "time"
+
+// jitter carries a live, well-justified suppression.
+func jitter() time.Time {
+	//kdlint:allow simclock fixture exercises a live well-justified suppression
+	return time.Now()
+}
+
+// calm carries a stale suppression: nothing on the next line trips
+// simclock anymore.
+func calm() int {
+	//kdlint:allow simclock this directive suppresses nothing at all
+	return 42
+}
+
+// rush carries a live suppression with a thin justification.
+func rush() time.Time {
+	//kdlint:allow simclock because reasons
+	return time.Now()
+}

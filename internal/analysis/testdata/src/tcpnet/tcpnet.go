@@ -1,0 +1,93 @@
+// Package tcpnet is a crossnode fixture: a self-contained transport layer
+// with a self-referential remote link (Conn.peer), a delivery entry point,
+// and every access shape the analyzer must flag or sanction.
+package tcpnet
+
+// Node stands in for the fabric node handle: dereference chains ending on
+// it are addressing metadata, exempt by type name.
+type Node struct {
+	name string
+}
+
+// Net is the fixture's fabric.
+type Net struct{}
+
+// Deliver runs onArrive at the destination after wire time.
+//
+//kdlint:delivery onArrive executes at the destination node
+func (n *Net) Deliver(from, to *Node, size int, onArrive func()) {
+	_, _, _ = from, to, size
+	onArrive()
+}
+
+// DeliverArg is Deliver for pooled-argument hot paths.
+//
+//kdlint:delivery onArrive executes at the destination node
+func (n *Net) DeliverArg(from, to *Node, size int, onArrive func(any), arg any) {
+	_, _, _ = from, to, size
+	onArrive(arg)
+}
+
+// Conn is one side of a connection; peer is the remote-link doorway.
+type Conn struct {
+	net    *Net
+	node   *Node
+	peer   *Conn
+	closed bool
+	seq    uint64
+}
+
+func (c *Conn) close() { c.closed = true }
+
+// sendBad reads remote state directly through the link.
+func (c *Conn) sendBad() bool {
+	return c.peer.closed // want `dereference of .* reaches across the node boundary`
+}
+
+// resetBad calls a method on the remote endpoint.
+func (c *Conn) resetBad() {
+	c.peer.close() // want `reaches across the node boundary`
+}
+
+// teardownBad dereferences the remote endpoint through a local alias.
+func (c *Conn) teardownBad() {
+	p := c.peer // want `p aliases the remote endpoint through "c\.peer" and is dereferenced 2 time\(s\)`
+	p.closed = true
+	_ = p.seq
+}
+
+// connected reads only the link pointer itself: connection metadata.
+func (c *Conn) connected() bool { return c.peer != nil }
+
+// send extracts the peer's node (addressing) and touches remote state only
+// inside the delivery callback, which executes at the destination.
+func (c *Conn) send(size int) {
+	c.net.Deliver(c.node, c.peer.node, size, func() {
+		c.peer.closed = false // sanctioned: delivery callback body
+	})
+}
+
+// onFrame carries an explicit delivery fact: its body runs at the
+// destination, so the link dereference is local there.
+//
+//kdlint:delivery runs at the destination node once the frame has landed
+func (c *Conn) onFrame() {
+	c.peer.seq++ // sanctioned: delivery-fact function
+}
+
+// arrive is passed as a callback to DeliverArg below, so it inherits the
+// delivery fact transitively (derived fact, rule R1).
+func arrive(v any) {
+	c := v.(*Conn)
+	c.peer.seq++ // sanctioned: derived delivery fact
+}
+
+func (c *Conn) sendArg(size int) {
+	c.net.DeliverArg(c.node, c.peer.node, size, arrive, c)
+}
+
+// resetAllowed demonstrates a justified suppression.
+func (c *Conn) resetAllowed() {
+	//kdlint:allow crossnode RST teardown closes both sides at the same instant by design
+	c.peer.closed = true
+}

@@ -64,6 +64,11 @@ type Cluster struct {
 	// groups is the consumer-group runtime (nil until EnableGroups);
 	// see groups.go.
 	groups *groupRuntime
+
+	// Controller instruments, cached at construction (nil when telemetry
+	// is disabled); see controller.go.
+	obsISRChanges *obs.Counter
+	obsElections  *obs.Counter
 }
 
 type clusterTopic struct {
@@ -85,6 +90,9 @@ func NewCluster(env *sim.Env, opts Options) *Cluster {
 		rdmaCosts: opts.RDMA,
 		byName:    make(map[string]*Broker),
 		topics:    make(map[string]*clusterTopic),
+
+		obsISRChanges: net.Obs().Counter("core/isr_changes"),
+		obsElections:  net.Obs().Counter("core/leader_elections"),
 	}
 }
 

@@ -116,7 +116,7 @@ func (c *Cluster) failover(deadID string) {
 				if !c.down[pm.Leader] {
 					if lpt := c.broker(pm.Leader).Partition(name, pm.Partition); lpt != nil {
 						lpt.recomputeHW()
-						c.net.Obs().Counter("core/isr_changes").Inc()
+						c.obsISRChanges.Inc()
 					}
 				}
 				continue
@@ -150,8 +150,8 @@ func (c *Cluster) electLeader(topic string, pm *kwire.PartitionMeta) {
 		return // no live replica: the partition stays unavailable
 	}
 	pm.Leader = newLeader.id
-	c.net.Obs().Counter("core/isr_changes").Inc()
-	c.net.Obs().Counter("core/leader_elections").Inc()
+	c.obsISRChanges.Inc()
+	c.obsElections.Inc()
 	// Propagate the new epoch to every replica's local state; the dead
 	// broker learns it from the controller when it restarts.
 	for _, id := range pm.Replicas {

@@ -210,6 +210,8 @@ func (nd *SNode) RxBytes() uint64 { return nd.rxBytes }
 func (nd *SNode) Down() bool { return nd.net.views[nd.shard].down[nd.name] }
 
 // serTime returns the serialisation delay of a message of the given size.
+//
+//kdlint:hotpath
 func (n *ShardedNet) serTime(bytes int) time.Duration {
 	if bytes < n.cfg.MinFrame {
 		bytes = n.cfg.MinFrame
@@ -238,6 +240,8 @@ func skeyFor(a, b *SNode) linkKey {
 }
 
 // take pops a delivery record from shard's free list (or allocates).
+//
+//kdlint:hotpath pool-miss allocation sits under the len guard (grow-once)
 func (n *ShardedNet) take(shard int) *snDeliver {
 	p := n.pools[shard]
 	if len(p) == 0 {
@@ -257,6 +261,9 @@ func (n *ShardedNet) take(shard int) *snDeliver {
 //
 // Loopback (from == to) skips the wire and arrives at the current instant,
 // matching Network.Deliver.
+//
+//kdlint:delivery onArrive executes on the destination node's shard at drain time
+//kdlint:hotpath
 func (n *ShardedNet) DeliverArg(from, to *SNode, size int, onArrive func(any), arg any) {
 	//kdlint:allow shardstate the caller's own shard (DeliverArg must run on from's shard); cross-shard reach is the PostArg below
 	env := n.g.Shard(from.shard)
@@ -282,6 +289,8 @@ func (n *ShardedNet) DeliverArg(from, to *SNode, size int, onArrive func(any), a
 
 // Deliver is DeliverArg with a plain callback (cold paths; the closure is the
 // caller's allocation).
+//
+//kdlint:delivery onArrive executes on the destination node's shard at drain time
 func (n *ShardedNet) Deliver(from, to *SNode, size int, onArrive func()) {
 	//kdlint:allow shardstate the caller's own shard (Deliver must run on from's shard); cross-shard reach is the PostArg below
 	env := n.g.Shard(from.shard)
@@ -309,6 +318,8 @@ func (n *ShardedNet) Deliver(from, to *SNode, size int, onArrive func()) {
 // books the ingress port (in canonical drain order, which makes receive-side
 // contention deterministic), schedules the arrival, and recycles the record
 // into the destination's pool.
+//
+//kdlint:hotpath amortized growth of the destination's record pool
 func deliverStep(a any) {
 	d := a.(*snDeliver)
 	to := d.to

@@ -44,6 +44,8 @@ func (o *Obs) Histogram(name string) *Histogram {
 }
 
 // Tracer returns the span tracer, or nil when o is nil or tracing is off.
+//
+//kdlint:hotpath
 func (o *Obs) Tracer() *Tracer {
 	if o == nil {
 		return nil

@@ -135,6 +135,8 @@ func NewShardGroup(nShards int, lookahead Time, seed int64) *ShardGroup {
 func (g *ShardGroup) Shards() int { return len(g.shards) }
 
 // Shard returns shard i's environment.
+//
+//kdlint:hotpath
 func (g *ShardGroup) Shard(i int) *Env { return g.shards[i] }
 
 // Lookahead returns the conservative lookahead the group was built with.
@@ -170,6 +172,8 @@ func (g *ShardGroup) Parallel() int { return g.parallel }
 // dst's scheduler context between windows; it must not block, and it must
 // only SCHEDULE work (Env.At/AtArg at a time ≥ at) and touch dst-local
 // state. at must be at least lookahead past the posting shard's clock.
+//
+//kdlint:hotpath amortized growth of the per-ring handoff buffer
 func (g *ShardGroup) Post(src, dst int, at Time, rank, seq uint64, fn func()) {
 	if at < g.windowEnd {
 		panic(fmt.Sprintf("sim: handoff at %v posted into the past (window end %v); the poster broke the lookahead contract", at, g.windowEnd))
@@ -181,6 +185,8 @@ func (g *ShardGroup) Post(src, dst int, at Time, rank, seq uint64, fn func()) {
 // PostArg is Post for allocation-free hot paths: fn is a shared function
 // applied to a pooled argument record, so no closure is materialised per
 // handoff (see Env.AtArg).
+//
+//kdlint:hotpath amortized growth of the per-ring handoff buffer
 func (g *ShardGroup) PostArg(src, dst int, at Time, rank, seq uint64, fn func(any), arg any) {
 	if at < g.windowEnd {
 		panic(fmt.Sprintf("sim: handoff at %v posted into the past (window end %v); the poster broke the lookahead contract", at, g.windowEnd))

@@ -58,6 +58,8 @@ func NewEnv(seed int64) *Env {
 }
 
 // Now returns the current virtual time.
+//
+//kdlint:hotpath
 func (e *Env) Now() Time { return e.now }
 
 // Rand returns the environment's deterministic random source. It must only
@@ -81,6 +83,8 @@ type event struct {
 }
 
 // before orders events by time, then by insertion sequence (determinism).
+//
+//kdlint:hotpath
 func (ev *event) before(o *event) bool {
 	return ev.at < o.at || (ev.at == o.at && ev.seq < o.seq)
 }
@@ -96,6 +100,7 @@ type eventHeap struct {
 
 func (h *eventHeap) len() int { return len(h.a) }
 
+//kdlint:hotpath amortized growth of the caller-owned heap slice
 func (h *eventHeap) push(ev event) {
 	h.a = append(h.a, ev)
 	a := h.a
@@ -153,6 +158,7 @@ func (h *eventHeap) siftDown(ev event) {
 	a[i] = ev
 }
 
+//kdlint:hotpath
 func (e *Env) push(at Time, p *Proc, fn func()) {
 	e.seq++
 	e.events.push(event{at: at, seq: e.seq, proc: p, fn: fn})
@@ -160,6 +166,8 @@ func (e *Env) push(at Time, p *Proc, fn func()) {
 
 // At schedules fn to run inline (in scheduler context, without a process) at
 // absolute virtual time t. fn must not block; it may wake processes.
+//
+//kdlint:hotpath
 func (e *Env) At(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
@@ -168,12 +176,16 @@ func (e *Env) At(t Time, fn func()) {
 }
 
 // After schedules fn to run d from now. See At.
+//
+//kdlint:hotpath
 func (e *Env) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
 // AtArg schedules fn(arg) to run inline at absolute virtual time t. It is At
 // for allocation-free hot paths: fn is a shared (package-level) function and
 // arg a pooled record, so no closure is materialised per event. fn must not
 // block.
+//
+//kdlint:hotpath
 func (e *Env) AtArg(t Time, fn func(any), arg any) {
 	if t < e.now {
 		t = e.now
@@ -183,6 +195,8 @@ func (e *Env) AtArg(t Time, fn func(any), arg any) {
 }
 
 // AfterArg schedules fn(arg) to run d from now. See AtArg.
+//
+//kdlint:hotpath
 func (e *Env) AfterArg(d Time, fn func(any), arg any) { e.AtArg(e.now+d, fn, arg) }
 
 // Proc is a simulation process. All blocking operations take the process as
@@ -680,6 +694,8 @@ type Pacer struct {
 
 // Reserve books an interval of length d starting no earlier than now, and
 // returns the interval's end time.
+//
+//kdlint:hotpath
 func (pc *Pacer) Reserve(now, d Time) Time {
 	start := now
 	if pc.freeAt > start {

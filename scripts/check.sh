@@ -21,9 +21,12 @@ go build ./...
 
 # kdlint enforces the determinism / zero-copy / error-handling invariants
 # statically (see DESIGN.md §9). It needs the build above: analysis reads
-# compiled export data out of the build cache.
-echo "== kdlint =="
-go run ./cmd/kdlint ./...
+# compiled export data out of the build cache. The -audit pass inventories
+# every //kdlint:allow directive and holds the per-analyzer totals to the
+# committed budget (scripts/kdlint_budget.txt): suppressions are a ratchet
+# and may only shrink.
+echo "== kdlint (findings + suppression audit) =="
+go run ./cmd/kdlint -audit -budget scripts/kdlint_budget.txt ./...
 
 # The failure-handling and sharded-kernel stack first: the DES kernel (both
 # the single heap and the conservative-parallel ShardGroup), the sharded
